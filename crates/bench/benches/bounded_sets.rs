@@ -1,0 +1,66 @@
+//! Experiment E13 (Section 9.1): representing the grow-only announcement sets as
+//! persistent linked lists (publish a head pointer, `O(1)` per update) vs. cloning
+//! whole `BTreeSet`s into the register (the unbounded-size formulation of Figure 7),
+//! for increasing set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrv_core::bounded::PersistentList;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E13_announcement_publish");
+    for size in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("btreeset_clone_insert", size), &size, |b, &size| {
+            let mut set = BTreeSet::new();
+            for i in 0..size {
+                set.insert(i);
+            }
+            b.iter(|| {
+                // One announcement: clone the set (what the register write stores) and
+                // insert the new element.
+                let mut published = set.clone();
+                published.insert(size + 1);
+                published
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("persistent_list_push", size), &size, |b, &size| {
+            let mut list = PersistentList::new();
+            for i in 0..size {
+                list = list.push(i);
+            }
+            b.iter(|| list.push(size + 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_back(c: &mut Criterion) {
+    // The flip side: materialising the set from the linked list costs O(size) at scan
+    // time, whereas the cloned BTreeSet is immediately usable.
+    let mut group = c.benchmark_group("E13_announcement_read_back");
+    for size in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("persistent_list_to_set", size), &size, |b, &size| {
+            let mut list = PersistentList::new();
+            for i in 0..size {
+                list = list.push(i);
+            }
+            b.iter(|| list.to_set());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_publish, bench_read_back
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Experiment E16 (Section 3: the local `P_O` test): cost of deciding linearizability
+//! of a finite history as a function of history length; effect of Lowe-style
+//! memoisation; and the partitioned (product-object) fast path for sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrv_check::{CheckerConfig, GenLinObject, LinSpec};
+use linrv_history::{History, HistoryBuilder, OpValue, ProcessId};
+use linrv_spec::ops::{queue, set};
+use linrv_spec::{QueueSpec, SequentialSpec, SetSpec};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+/// A linearizable queue history of `len` operations with two interleaved processes.
+fn queue_history(len: usize) -> History {
+    let spec = QueueSpec::new();
+    let mut state = spec.initial_state();
+    let mut b = HistoryBuilder::new();
+    for i in 0..len {
+        let op = if i % 3 == 0 {
+            queue::dequeue()
+        } else {
+            queue::enqueue(i as i64)
+        };
+        let (next, response) = spec.step_deterministic(&state, &op).unwrap();
+        state = next;
+        b.complete(ProcessId::new((i % 2) as u32), op, response);
+    }
+    b.build()
+}
+
+/// A linearizable set history touching `keys` distinct keys.
+fn set_history(len: usize, keys: i64) -> History {
+    let spec = SetSpec::new();
+    let mut state = spec.initial_state();
+    let mut b = HistoryBuilder::new();
+    for i in 0..len {
+        let key = (i as i64) % keys;
+        let op = match i % 3 {
+            0 => set::add(key),
+            1 => set::contains(key),
+            _ => set::remove(key),
+        };
+        let (next, response) = spec.step_deterministic(&state, &op).unwrap();
+        state = next;
+        b.complete(ProcessId::new((i % 3) as u32), op, response);
+    }
+    b.build()
+}
+
+fn bench_history_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E16_checker_history_length");
+    for len in [8usize, 16, 32, 64] {
+        let history = queue_history(len);
+        group.bench_with_input(BenchmarkId::new("wgl_memoized", len), &history, |b, h| {
+            let checker = LinSpec::new(QueueSpec::new());
+            b.iter(|| checker.contains(h));
+        });
+        group.bench_with_input(BenchmarkId::new("wgl_unmemoized", len), &history, |b, h| {
+            let checker = LinSpec::with_config(
+                QueueSpec::new(),
+                CheckerConfig {
+                    memoize: false,
+                    max_explored_states: None,
+                },
+            );
+            b.iter(|| checker.contains(h));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E16_checker_partitioning");
+    for len in [16usize, 48] {
+        let history = set_history(len, 6);
+        group.bench_with_input(BenchmarkId::new("generic_set", len), &history, |b, h| {
+            let checker = LinSpec::new(SetSpec::new());
+            b.iter(|| checker.contains(h));
+        });
+        group.bench_with_input(BenchmarkId::new("partitioned_set", len), &history, |b, h| {
+            let checker = linrv_check::partitioned::partitioned_set();
+            b.iter(|| checker.contains(h));
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure_histories(c: &mut Criterion) {
+    // Deciding the small histories of the paper's figures costs microseconds — the
+    // overhead the self-enforced wrapper pays per operation on short prefixes.
+    let mut group = c.benchmark_group("E16_checker_figure_histories");
+    let mut b = HistoryBuilder::new();
+    let push = b.invoke(ProcessId::new(0), linrv_spec::ops::stack::push(1));
+    let pop = b.invoke(ProcessId::new(1), linrv_spec::ops::stack::pop());
+    b.respond(pop, OpValue::Int(1));
+    b.respond(push, OpValue::Bool(true));
+    let figure1_top = b.build();
+    group.bench_function("figure1_top_stack", |bench| {
+        let checker = LinSpec::new(linrv_spec::StackSpec::new());
+        bench.iter(|| checker.contains(&figure1_top));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_history_length, bench_partitioning, bench_figure_histories
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Experiment E12 (Section 9.2): producer-side latency of the coupled self-enforced
+//! implementation (Figure 11, the membership test sits on the critical path) vs. the
+//! decoupled variant (Figure 12, producers only publish the tuple and return).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linrv_check::LinSpec;
+use linrv_core::decoupled::decoupled;
+use linrv_core::enforce::SelfEnforced;
+use linrv_history::ProcessId;
+use linrv_runtime::impls::MsQueue;
+use linrv_runtime::ConcurrentObject;
+use linrv_spec::ops::queue;
+use linrv_spec::QueueSpec;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_producer_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12_producer_latency");
+    let p0 = ProcessId::new(0);
+    let ops_per_batch = 8i64;
+
+    group.bench_function("coupled_self_enforced", |b| {
+        b.iter_batched(
+            || SelfEnforced::new(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2),
+            |enforced| {
+                for i in 0..ops_per_batch {
+                    enforced.apply_verified(p0, &queue::enqueue(i));
+                    enforced.apply_verified(p0, &queue::dequeue());
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("decoupled_producer", |b| {
+        b.iter_batched(
+            || decoupled(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2).0,
+            |producer| {
+                for i in 0..ops_per_batch {
+                    producer.apply(p0, &queue::enqueue(i));
+                    producer.apply(p0, &queue::dequeue());
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("decoupled_verifier_pass", |b| {
+        // Cost of one background verification pass over a published run of 16 ops.
+        let (producer, verifier) = decoupled(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2);
+        for i in 0..ops_per_batch {
+            producer.apply(p0, &queue::enqueue(i));
+            producer.apply(p0, &queue::dequeue());
+        }
+        b.iter(|| verifier.check_once());
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_producer_latency
+}
+criterion_main!(benches);

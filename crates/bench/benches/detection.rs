@@ -1,0 +1,79 @@
+//! Experiment E10 (Definition 6.1, Theorem 8.1 (2)–(3)): completeness and detection
+//! cost. We measure the wall-clock cost of running a self-enforced wrapper over faulty
+//! implementations until the first ERROR is reported, for different fault rates. The
+//! run also asserts that detection happened (completeness) — a bench that silently
+//! stopped detecting would fail.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrv_check::LinSpec;
+use linrv_core::enforce::SelfEnforced;
+use linrv_history::ProcessId;
+use linrv_runtime::faulty::{LossyQueue, StutteringCounter};
+use linrv_spec::ops::{counter, queue};
+use linrv_spec::{CounterSpec, QueueSpec};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn ops_until_detection_lossy_queue(drop_every: u64) -> usize {
+    let enforced = SelfEnforced::new(LossyQueue::new(drop_every), LinSpec::new(QueueSpec::new()), 1);
+    let p0 = ProcessId::new(0);
+    let mut ops = 0usize;
+    for i in 0..(drop_every as i64 + 1) {
+        enforced.apply_verified(p0, &queue::enqueue(i));
+        ops += 1;
+    }
+    for _ in 0..(drop_every as i64 + 2) {
+        ops += 1;
+        if !enforced.apply_verified(p0, &queue::dequeue()).is_verified() {
+            return ops;
+        }
+    }
+    panic!("lossy queue violation was not detected (completeness broken)");
+}
+
+fn ops_until_detection_stuttering_counter(lose_every: u64) -> usize {
+    let enforced = SelfEnforced::new(
+        StutteringCounter::new(lose_every),
+        LinSpec::new(CounterSpec::new()),
+        1,
+    );
+    let p0 = ProcessId::new(0);
+    for ops in 1..=(3 * lose_every as usize + 2) {
+        if !enforced.apply_verified(p0, &counter::inc()).is_verified() {
+            return ops;
+        }
+    }
+    panic!("stuttering counter violation was not detected (completeness broken)");
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_detection");
+    for drop_every in [2u64, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("lossy_queue_until_error", drop_every),
+            &drop_every,
+            |b, &k| b.iter(|| ops_until_detection_lossy_queue(k)),
+        );
+    }
+    for lose_every in [2u64, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("stuttering_counter_until_error", lose_every),
+            &lose_every,
+            |b, &k| b.iter(|| ops_until_detection_stuttering_counter(k)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_detection
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment E8 (Lemma 7.2): the step complexity of `A*` is the step complexity of
+//! `A` plus `O(n)`. We measure per-operation latency of a raw queue vs. its DRV
+//! wrapper for increasing numbers of processes `n`: the gap should grow roughly
+//! linearly in `n` (the announce `Write` + `Snapshot` of Figure 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrv_core::drv::Drv;
+use linrv_history::ProcessId;
+use linrv_runtime::impls::MsQueue;
+use linrv_runtime::ConcurrentObject;
+use linrv_spec::ops::queue;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_drv_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_drv_overhead");
+    let p0 = ProcessId::new(0);
+
+    group.bench_function("raw_queue_enq_deq", |b| {
+        let queue = MsQueue::new();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            queue.apply(p0, &queue::enqueue(i));
+            queue.apply(p0, &queue::dequeue())
+        });
+    });
+
+    for n in linrv_bench::PROCESS_SWEEP {
+        group.bench_with_input(BenchmarkId::new("drv_queue_enq_deq", n), &n, |b, &n| {
+            let drv = Drv::new(MsQueue::new(), n);
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                drv.apply_drv(p0, &queue::enqueue(i));
+                drv.apply_drv(p0, &queue::dequeue())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_drv_overhead
+}
+criterion_main!(benches);

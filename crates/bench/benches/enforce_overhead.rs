@@ -1,0 +1,104 @@
+//! Experiment E11 (Theorem 8.2): end-to-end overhead of self-enforcement — per-
+//! operation latency of a raw implementation vs. its self-enforced counterpart
+//! `V_{O,A}`, per object kind. The absolute gap is dominated by the membership test on
+//! the accumulated history, which is why the paper's follow-up work and the decoupled
+//! variant (experiment E12) move verification off the critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linrv_check::LinSpec;
+use linrv_core::enforce::SelfEnforced;
+use linrv_history::ProcessId;
+use linrv_runtime::impls::{AtomicCounter, MsQueue, TreiberStack};
+use linrv_runtime::ConcurrentObject;
+use linrv_spec::ops::{counter, queue, stack};
+use linrv_spec::{CounterSpec, QueueSpec, StackSpec};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_enforce_overhead_queue");
+    let p0 = ProcessId::new(0);
+    group.bench_function("raw", |b| {
+        let q = MsQueue::new();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            q.apply(p0, &queue::enqueue(i));
+            q.apply(p0, &queue::dequeue())
+        });
+    });
+    group.bench_function("self_enforced", |b| {
+        b.iter_batched(
+            || SelfEnforced::new(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2),
+            |enforced| {
+                for i in 0..8i64 {
+                    enforced.apply_verified(p0, &queue::enqueue(i));
+                    enforced.apply_verified(p0, &queue::dequeue());
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_enforce_overhead_stack");
+    let p0 = ProcessId::new(0);
+    group.bench_function("raw", |b| {
+        let s = TreiberStack::new();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            s.apply(p0, &stack::push(i));
+            s.apply(p0, &stack::pop())
+        });
+    });
+    group.bench_function("self_enforced", |b| {
+        b.iter_batched(
+            || SelfEnforced::new(TreiberStack::new(), LinSpec::new(StackSpec::new()), 2),
+            |enforced| {
+                for i in 0..8i64 {
+                    enforced.apply_verified(p0, &stack::push(i));
+                    enforced.apply_verified(p0, &stack::pop());
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_enforce_overhead_counter");
+    let p0 = ProcessId::new(0);
+    group.bench_function("raw", |b| {
+        let cnt = AtomicCounter::new();
+        b.iter(|| cnt.apply(p0, &counter::inc()));
+    });
+    group.bench_function("self_enforced", |b| {
+        b.iter_batched(
+            || SelfEnforced::new(AtomicCounter::new(), LinSpec::new(CounterSpec::new()), 2),
+            |enforced| {
+                for _ in 0..8 {
+                    enforced.apply_verified(p0, &counter::inc());
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_queue, bench_stack, bench_counter
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Experiments E1–E7: the paper's figures as executable scenarios. Each benchmark
+//! re-runs one figure's construction and asserts the caption's claim — the measured
+//! quantity is the cost of reproducing and re-checking the figure, and a failed
+//! assertion means the reproduction no longer matches the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linrv_check::{GenLinObject, LinSpec};
+use linrv_core::drv::Drv;
+use linrv_core::impossibility::theorem51_demo;
+use linrv_core::sketch::sketch_history;
+use linrv_core::view::TupleSet;
+use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+use linrv_runtime::faulty::Theorem51Queue;
+use linrv_spec::ops::{queue, stack};
+use linrv_spec::{QueueSpec, StackSpec};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_E7_figures");
+
+    group.bench_function("E1_figure1_same_views_different_verdicts", |b| {
+        b.iter(|| {
+            use linrv_history::OpId;
+            let object = LinSpec::new(StackSpec::new());
+            let (push_id, pop_id) = (OpId::new(0), OpId::new(1));
+            let mut top = HistoryBuilder::new();
+            top.invoke_with_id(p(0), push_id, stack::push(1));
+            top.invoke_with_id(p(1), pop_id, stack::pop());
+            top.respond(pop_id, OpValue::Int(1));
+            top.respond(push_id, OpValue::Bool(true));
+            let mut bottom = HistoryBuilder::new();
+            bottom.invoke_with_id(p(1), pop_id, stack::pop());
+            bottom.respond(pop_id, OpValue::Int(1));
+            bottom.invoke_with_id(p(0), push_id, stack::push(1));
+            bottom.respond(push_id, OpValue::Bool(true));
+            let top = top.build();
+            let bottom = bottom.build();
+            assert!(top.equivalent(&bottom));
+            assert!(object.contains(&top));
+            assert!(!object.contains(&bottom));
+        });
+    });
+
+    group.bench_function("E3_figure4_impossibility_demo", |b| {
+        b.iter(|| {
+            let demo = theorem51_demo();
+            assert!(demo.executions_are_indistinguishable());
+            assert!(demo.e_violates_linearizability());
+            assert!(demo.f_is_linearizable());
+        });
+    });
+
+    group.bench_function("E4_E5_E6_figure_5_6_8_stretch_shrink_enforce", |b| {
+        b.iter(|| {
+            let object = LinSpec::new(QueueSpec::new());
+            // Figure 5/8: announcements happen early, the sketch overlaps — enforced.
+            let drv = Drv::new(Theorem51Queue::new(p(1)), 2);
+            let deq = drv.announce(p(1), &queue::dequeue());
+            let enq = drv.announce(p(0), &queue::enqueue(1));
+            let deq_value = drv.call_inner(&deq);
+            let enq_value = drv.call_inner(&enq);
+            let mut tuples = TupleSet::new();
+            tuples.insert(drv.collect(deq, deq_value).tuple());
+            tuples.insert(drv.collect(enq, enq_value).tuple());
+            assert!(object.contains(&sketch_history(&tuples).unwrap()));
+
+            // Figure 6 (bottom): tight phases, the violation is preserved — detectable.
+            let drv = Drv::new(Theorem51Queue::new(p(1)), 2);
+            let deq = drv.announce(p(1), &queue::dequeue());
+            let deq_value = drv.call_inner(&deq);
+            let deq_resp = drv.collect(deq, deq_value);
+            let enq = drv.announce(p(0), &queue::enqueue(1));
+            let enq_value = drv.call_inner(&enq);
+            let enq_resp = drv.collect(enq, enq_value);
+            let mut tuples = TupleSet::new();
+            tuples.insert(deq_resp.tuple());
+            tuples.insert(enq_resp.tuple());
+            assert!(!object.contains(&sketch_history(&tuples).unwrap()));
+        });
+    });
+
+    group.bench_function("E7_figure9_views_to_history", |b| {
+        use linrv_core::view::{InvocationPair, ViewTuple};
+        use linrv_history::{OpId, Operation};
+        b.iter(|| {
+            let mk = |proc: u32, id: u64| InvocationPair {
+                process: p(proc),
+                op_id: OpId::new(id),
+                operation: Operation::new("Apply", OpValue::Int(id as i64)),
+            };
+            let (a, b_, c, d) = (mk(0, 0), mk(0, 1), mk(1, 2), mk(2, 3));
+            let v1: linrv_core::view::View = [a.clone()].into_iter().collect();
+            let v2: linrv_core::view::View = [a.clone(), b_.clone(), c.clone()].into_iter().collect();
+            let v3: linrv_core::view::View =
+                [a.clone(), b_.clone(), c.clone(), d.clone()].into_iter().collect();
+            let mut tuples = TupleSet::new();
+            tuples.insert(ViewTuple::new(a, OpValue::Str("a".into()), v1));
+            tuples.insert(ViewTuple::new(b_, OpValue::Str("b".into()), v2));
+            tuples.insert(ViewTuple::new(d, OpValue::Str("d".into()), v3));
+            let history = sketch_history(&tuples).unwrap();
+            assert_eq!(history.complete_operations().count(), 3);
+            assert_eq!(history.pending_operations().count(), 1);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment E15 (Definition 7.3, references [1, 63]): cost of the snapshot object
+//! implementations the constructions are built on — the wait-free Afek et al. snapshot
+//! with helping, the obstruction-free double-collect baseline, and the blocking
+//! mutex-based oracle — for increasing numbers of entries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrv_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LockedSnapshot, Snapshot};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_write_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E15_snapshot_write_scan");
+    for n in linrv_bench::PROCESS_SWEEP {
+        group.bench_with_input(BenchmarkId::new("afek", n), &n, |b, &n| {
+            let s = AfekSnapshot::new(n, 0u64);
+            let mut v = 0u64;
+            b.iter(|| {
+                v += 1;
+                s.write(0, v);
+                s.scan(0)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("double_collect", n), &n, |b, &n| {
+            let s = DoubleCollectSnapshot::new(n, 0u64);
+            let mut v = 0u64;
+            b.iter(|| {
+                v += 1;
+                s.write(0, v);
+                s.scan(0)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("locked_oracle", n), &n, |b, &n| {
+            let s = LockedSnapshot::new(n, 0u64);
+            let mut v = 0u64;
+            b.iter(|| {
+                v += 1;
+                s.write(0, v);
+                s.scan(0)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_write_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Experiment E9 (Claim 8.1 / Theorem 8.1(1)): one verifier loop iteration costs `O(n)`
+//! base-object steps plus the local membership test. We measure `Verifier::observe`
+//! while sweeping the number of processes `n` (snapshot width) and, separately, the
+//! accumulated history length (the membership-test component).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrv_check::LinSpec;
+use linrv_core::drv::Drv;
+use linrv_core::verifier::Verifier;
+use linrv_history::ProcessId;
+use linrv_runtime::impls::MsQueue;
+use linrv_spec::ops::queue;
+use linrv_spec::QueueSpec;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_snapshot_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_verifier_snapshot_width");
+    let p0 = ProcessId::new(0);
+    for n in linrv_bench::PROCESS_SWEEP {
+        group.bench_with_input(BenchmarkId::new("observe_pair", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    (
+                        Drv::new(MsQueue::new(), n),
+                        Verifier::new(LinSpec::new(QueueSpec::new()), n),
+                    )
+                },
+                |(drv, verifier)| {
+                    let r = drv.apply_drv(p0, &queue::enqueue(1));
+                    verifier.observe(p0, r.tuple());
+                    let r = drv.apply_drv(p0, &queue::dequeue());
+                    verifier.observe(p0, r.tuple())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_history_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_verifier_history_length");
+    let p0 = ProcessId::new(0);
+    for len in [8usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("re_verify_after", len), &len, |b, &len| {
+            // Pre-populate a verifier with `len` verified operations, then measure the
+            // cost of re-running the scan + sketch + membership test (the dominant,
+            // history-length-dependent part of one loop iteration). The measured call
+            // is read-only, so the history length stays fixed across iterations.
+            let drv = Drv::new(MsQueue::new(), 2);
+            let verifier = Verifier::new(LinSpec::new(QueueSpec::new()), 2);
+            for i in 0..len {
+                let r = drv.apply_drv(p0, &queue::enqueue(i as i64));
+                verifier.observe(p0, r.tuple());
+            }
+            b.iter(|| verifier.verdict_from_scan(p0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_snapshot_width, bench_history_length
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Benchmark harness crate for the `linrv` workspace.
+//!
+//! Each bench target under `benches/` regenerates one experiment of EXPERIMENTS.md.
+//! The library itself only exposes tiny helpers shared by the benches.
+
+/// Standard process counts swept by the scaling benches.
+pub const PROCESS_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_is_increasing() {
+        assert!(super::PROCESS_SWEEP.windows(2).all(|w| w[0] < w[1]));
+    }
+}

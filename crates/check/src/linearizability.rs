@@ -1,0 +1,522 @@
+//! Linearizability membership (Definition 4.2), decided with a Wing–Gong search plus
+//! Lowe-style memoisation.
+//!
+//! Given a finite history `E` and a sequential specification `O`, the checker decides
+//! whether there is an extension `E'` of `E` and a sequential history `S` of `O` such
+//! that `comp(E')` and `S` are equivalent and `<_{comp(E')} ⊆ <_S`.
+//!
+//! The search linearizes operations one at a time. An operation may be chosen next when
+//! every *complete* operation that precedes it in real time has already been
+//! linearized. Complete operations must reproduce their recorded response; pending
+//! operations may be linearized with any response allowed by the specification (this
+//! realises the extension `E'`), or never linearized at all (this realises `comp(·)`).
+//!
+//! Deciding linearizability of a finite history is NP-complete in general
+//! (Gibbons & Korach), so the search is exponential in the worst case; memoisation of
+//! visited `(linearized-set, specification-state)` pairs — Lowe's optimisation — keeps
+//! the common cases fast. [`PartitionedSpec`](crate::PartitionedSpec) provides the
+//! tractable product-object fast path.
+
+use crate::genlin::GenLinObject;
+use crate::witness::{Verdict, Violation};
+use linrv_history::{History, HistoryBuilder, OpRecord, OpValue};
+use linrv_spec::SequentialSpec;
+use std::collections::HashSet;
+
+/// Tuning knobs for the linearizability checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckerConfig {
+    /// Memoise visited `(linearized-set, state)` pairs (Lowe's optimisation).
+    pub memoize: bool,
+    /// Abort after exploring this many search nodes, returning
+    /// [`Verdict::Inconclusive`]. `None` means no budget.
+    pub max_explored_states: Option<usize>,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            memoize: true,
+            max_explored_states: None,
+        }
+    }
+}
+
+/// Linearizability with respect to a sequential specification, as an abstract object:
+/// the set of all finite histories linearizable with respect to `S` (Remark 7.1).
+///
+/// By Lemma 7.1 this object is prefix- and similarity-closed, hence a member of
+/// `GenLin`; it is the object handed to the verifier and to self-enforced
+/// implementations for ordinary sequential objects.
+#[derive(Debug, Clone)]
+pub struct LinSpec<S> {
+    spec: S,
+    config: CheckerConfig,
+}
+
+impl<S: SequentialSpec> LinSpec<S> {
+    /// Wraps a sequential specification with the default checker configuration.
+    pub fn new(spec: S) -> Self {
+        LinSpec {
+            spec,
+            config: CheckerConfig::default(),
+        }
+    }
+
+    /// Wraps a sequential specification with an explicit checker configuration.
+    pub fn with_config(spec: S, config: CheckerConfig) -> Self {
+        LinSpec { spec, config }
+    }
+
+    /// The underlying sequential specification.
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    /// Decides linearizability of `history`, returning a linearization or a violation
+    /// witness.
+    pub fn check(&self, history: &History) -> Verdict {
+        if let Err(err) = history.check_well_formed() {
+            return Verdict::NotMember {
+                violation: Violation {
+                    history: history.clone(),
+                    explanation: format!("history is not well formed: {err}"),
+                },
+            };
+        }
+
+        let records = history.operations();
+        if records.is_empty() {
+            return Verdict::Member {
+                linearization: Some(History::new()),
+            };
+        }
+
+        let search = Search::new(&self.spec, &records, &self.config);
+        match search.run() {
+            SearchOutcome::Found(order) => {
+                let linearization = build_linearization(&records, &order);
+                Verdict::Member {
+                    linearization: Some(linearization),
+                }
+            }
+            SearchOutcome::Exhausted => Verdict::NotMember {
+                violation: Violation {
+                    history: history.clone(),
+                    explanation: format!(
+                        "no linearization with respect to the {} specification exists",
+                        self.spec.kind()
+                    ),
+                },
+            },
+            SearchOutcome::BudgetExceeded => Verdict::Inconclusive,
+        }
+    }
+
+    /// Convenience: a linearization of `history`, when one exists.
+    pub fn linearization(&self, history: &History) -> Option<History> {
+        match self.check(history) {
+            Verdict::Member { linearization } => linearization,
+            _ => None,
+        }
+    }
+}
+
+impl<S: SequentialSpec> GenLinObject for LinSpec<S> {
+    fn contains(&self, history: &History) -> bool {
+        // An inconclusive verdict (possible only under an explicit budget) fails open:
+        // the verifier never reports ERROR without a genuine witness.
+        !self.check(history).is_violation()
+    }
+
+    fn description(&self) -> String {
+        format!("linearizability w.r.t. the {} object", self.spec.kind())
+    }
+}
+
+/// Reconstructs the sequential history from the chosen linearization order.
+fn build_linearization(records: &[OpRecord], order: &[(usize, OpValue)]) -> History {
+    let mut builder = HistoryBuilder::new();
+    for (index, response) in order {
+        let record = &records[*index];
+        builder.invoke_with_id(record.process, record.id, record.operation.clone());
+        builder.respond(record.id, response.clone());
+    }
+    builder.build()
+}
+
+enum SearchOutcome {
+    /// A linearization was found: the operations in order, with their responses.
+    Found(Vec<(usize, OpValue)>),
+    /// The whole search space was explored without success.
+    Exhausted,
+    /// The exploration budget ran out.
+    BudgetExceeded,
+}
+
+/// Compact set of operation indices, hashable for memoisation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+}
+
+struct Search<'a, S: SequentialSpec> {
+    spec: &'a S,
+    records: &'a [OpRecord],
+    config: &'a CheckerConfig,
+}
+
+impl<'a, S: SequentialSpec> Search<'a, S> {
+    fn new(spec: &'a S, records: &'a [OpRecord], config: &'a CheckerConfig) -> Self {
+        Search {
+            spec,
+            records,
+            config,
+        }
+    }
+
+    fn run(&self) -> SearchOutcome {
+        let n = self.records.len();
+        let mut linearized = BitSet::new(n);
+        let mut path: Vec<(usize, OpValue)> = Vec::new();
+        let mut memo: HashSet<(BitSet, S::State)> = HashSet::new();
+        let mut explored: usize = 0;
+        let complete_count = self.records.iter().filter(|r| r.is_complete()).count();
+
+        let found = self.dfs(
+            &mut linearized,
+            self.spec.initial_state(),
+            &mut path,
+            &mut memo,
+            &mut explored,
+            complete_count,
+            0,
+        );
+        match found {
+            Some(true) => SearchOutcome::Found(path),
+            Some(false) => SearchOutcome::Exhausted,
+            None => SearchOutcome::BudgetExceeded,
+        }
+    }
+
+    /// Depth-first search. Returns `Some(true)` when a linearization was completed,
+    /// `Some(false)` when this subtree holds none, `None` when the budget ran out.
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        linearized: &mut BitSet,
+        state: S::State,
+        path: &mut Vec<(usize, OpValue)>,
+        memo: &mut HashSet<(BitSet, S::State)>,
+        explored: &mut usize,
+        complete_count: usize,
+        linearized_complete: usize,
+    ) -> Option<bool> {
+        if linearized_complete == complete_count {
+            return Some(true);
+        }
+        *explored += 1;
+        if let Some(budget) = self.config.max_explored_states {
+            if *explored > budget {
+                return None;
+            }
+        }
+        if self.config.memoize && !memo.insert((linearized.clone(), state.clone())) {
+            return Some(false);
+        }
+
+        for (i, record) in self.records.iter().enumerate() {
+            if linearized.contains(i) {
+                continue;
+            }
+            if !self.is_minimal(linearized, record) {
+                continue;
+            }
+            let successors = match self.spec.step(&state, &record.operation) {
+                Ok(successors) => successors,
+                Err(_) => continue, // operation outside the interface can never linearize
+            };
+            for (next_state, response) in successors {
+                // Complete operations must reproduce their recorded response; pending
+                // operations accept any response allowed by the specification.
+                if let Some(actual) = &record.response {
+                    if *actual != response {
+                        continue;
+                    }
+                }
+                linearized.insert(i);
+                path.push((i, response));
+                let next_complete = linearized_complete + usize::from(record.is_complete());
+                match self.dfs(
+                    linearized,
+                    next_state,
+                    path,
+                    memo,
+                    explored,
+                    complete_count,
+                    next_complete,
+                ) {
+                    Some(true) => return Some(true),
+                    Some(false) => {
+                        path.pop();
+                        linearized.remove(i);
+                    }
+                    None => return None,
+                }
+            }
+        }
+        Some(false)
+    }
+
+    /// An operation may be linearized next when every complete operation that precedes
+    /// it in real time (`res(other)` before `inv(op)`) is already linearized.
+    fn is_minimal(&self, linearized: &BitSet, op: &OpRecord) -> bool {
+        self.records.iter().enumerate().all(|(j, other)| {
+            if linearized.contains(j) || other.id == op.id {
+                return true;
+            }
+            match other.response_index {
+                Some(res) => res > op.invocation_index,
+                None => true,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_history::{HistoryBuilder, Operation, ProcessId};
+    use linrv_spec::ops::{queue, stack};
+    use linrv_spec::{QueueSpec, RegisterSpec, StackSpec};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Figure 1 (top): p1 Push(1):true and p2 Pop():1 overlap — linearizable.
+    #[test]
+    fn figure1_top_is_linearizable() {
+        let mut b = HistoryBuilder::new();
+        let push = b.invoke(p(0), stack::push(1));
+        let pop = b.invoke(p(1), stack::pop());
+        b.respond(pop, OpValue::Int(1));
+        b.respond(push, OpValue::Bool(true));
+        let object = LinSpec::new(StackSpec::new());
+        let verdict = object.check(&b.build());
+        assert!(verdict.is_member());
+        let lin = verdict.linearization().unwrap();
+        assert!(StackSpec::new().accepts_sequential_history(lin));
+    }
+
+    /// Figure 1 (bottom): Pop():1 completes strictly before Push(1) starts — not
+    /// linearizable even though per-process views match the top history.
+    #[test]
+    fn figure1_bottom_is_not_linearizable() {
+        let mut b = HistoryBuilder::new();
+        let pop = b.invoke(p(1), stack::pop());
+        b.respond(pop, OpValue::Int(1));
+        let push = b.invoke(p(0), stack::push(1));
+        b.respond(push, OpValue::Bool(true));
+        let object = LinSpec::new(StackSpec::new());
+        assert!(object.check(&b.build()).is_violation());
+    }
+
+    /// Figure 3 (top): three-process stack history with the linearization
+    /// ⟨Push(2)⟩⟨Push(1)⟩⟨Pop():1⟩⟨Pop():2⟩.
+    #[test]
+    fn figure3_top_is_linearizable() {
+        // p1: |-- Push(1):true --|        |-- Pop():2 --|
+        // p2:     |------- Pop():1 -------|
+        // p3:  |-- Push(2):true --|
+        let mut b = HistoryBuilder::new();
+        let push1 = b.invoke(p(0), stack::push(1));
+        let push2 = b.invoke(p(2), stack::push(2));
+        let pop1 = b.invoke(p(1), stack::pop());
+        b.respond(push1, OpValue::Bool(true));
+        b.respond(push2, OpValue::Bool(true));
+        b.respond(pop1, OpValue::Int(1));
+        let pop2 = b.invoke(p(0), stack::pop());
+        b.respond(pop2, OpValue::Int(2));
+        let object = LinSpec::new(StackSpec::new());
+        assert!(object.check(&b.build()).is_member());
+    }
+
+    /// Figure 3 (bottom): Pop():empty cannot start when the stack is provably
+    /// non-empty — not linearizable.
+    #[test]
+    fn figure3_bottom_is_not_linearizable() {
+        // p1 pushes 1 and it completes; later p2 pops empty while only pushes happened.
+        let mut b = HistoryBuilder::new();
+        let push1 = b.invoke(p(0), stack::push(1));
+        b.respond(push1, OpValue::Bool(true));
+        let push2 = b.invoke(p(2), stack::push(2));
+        b.respond(push2, OpValue::Bool(true));
+        let pop_empty = b.invoke(p(1), stack::pop());
+        b.respond(pop_empty, OpValue::Empty);
+        let pop1 = b.invoke(p(0), stack::pop());
+        b.respond(pop1, OpValue::Int(1));
+        let object = LinSpec::new(StackSpec::new());
+        assert!(object.check(&b.build()).is_violation());
+    }
+
+    /// Figure 5 (bottom, actual history): deq():1 completes before enq(1) starts.
+    #[test]
+    fn queue_dequeue_before_enqueue_is_not_linearizable() {
+        let mut b = HistoryBuilder::new();
+        let deq = b.invoke(p(1), queue::dequeue());
+        b.respond(deq, OpValue::Int(1));
+        let enq = b.invoke(p(0), queue::enqueue(1));
+        b.respond(enq, OpValue::Bool(true));
+        let object = LinSpec::new(QueueSpec::new());
+        assert!(object.check(&b.build()).is_violation());
+    }
+
+    /// Figure 5 (bottom, detected history): the same operations overlapping are
+    /// linearizable — the "stretched" sketch hides the violation.
+    #[test]
+    fn queue_overlapping_enqueue_dequeue_is_linearizable() {
+        let mut b = HistoryBuilder::new();
+        let enq = b.invoke(p(0), queue::enqueue(1));
+        let deq = b.invoke(p(1), queue::dequeue());
+        b.respond(deq, OpValue::Int(1));
+        b.respond(enq, OpValue::Bool(true));
+        let object = LinSpec::new(QueueSpec::new());
+        assert!(object.check(&b.build()).is_member());
+    }
+
+    #[test]
+    fn pending_operations_may_be_completed_or_dropped() {
+        // A pending Enqueue(1) can be linearized to explain a completed Dequeue():1.
+        let mut b = HistoryBuilder::new();
+        let enq = b.invoke(p(0), queue::enqueue(1));
+        let _ = enq;
+        let deq = b.invoke(p(1), queue::dequeue());
+        b.respond(deq, OpValue::Int(1));
+        let object = LinSpec::new(QueueSpec::new());
+        let verdict = object.check(&b.build());
+        assert!(verdict.is_member());
+
+        // A pending Dequeue() is simply dropped.
+        let mut b = HistoryBuilder::new();
+        let enq = b.invoke(p(0), queue::enqueue(1));
+        b.respond(enq, OpValue::Bool(true));
+        b.invoke(p(1), queue::dequeue());
+        assert!(object.check(&b.build()).is_member());
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let object = LinSpec::new(QueueSpec::new());
+        let verdict = object.check(&History::new());
+        assert!(verdict.is_member());
+        assert!(verdict.linearization().unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_history_is_rejected_with_explanation() {
+        let mut h = History::new();
+        h.push(linrv_history::Event::response(p(0), linrv_history::OpId::new(0), OpValue::Unit));
+        let object = LinSpec::new(QueueSpec::new());
+        let verdict = object.check(&h);
+        let violation = verdict.violation().expect("not well formed");
+        assert!(violation.explanation.contains("well formed"));
+    }
+
+    #[test]
+    fn register_new_old_inversion_is_detected() {
+        // W(1) completes, then W(2) completes, then a read returns 1: not linearizable.
+        use linrv_spec::ops::register as reg;
+        let mut b = HistoryBuilder::new();
+        let w1 = b.invoke(p(0), reg::write(1));
+        b.respond(w1, OpValue::Bool(true));
+        let w2 = b.invoke(p(0), reg::write(2));
+        b.respond(w2, OpValue::Bool(true));
+        let r = b.invoke(p(1), reg::read());
+        b.respond(r, OpValue::Int(1));
+        let object = LinSpec::new(RegisterSpec::new());
+        assert!(object.check(&b.build()).is_violation());
+    }
+
+    #[test]
+    fn unknown_operations_make_history_non_linearizable() {
+        let mut b = HistoryBuilder::new();
+        let op = b.invoke(p(0), Operation::nullary("Frobnicate"));
+        b.respond(op, OpValue::Unit);
+        let object = LinSpec::new(QueueSpec::new());
+        assert!(object.check(&b.build()).is_violation());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_inconclusive_and_fails_open() {
+        // A moderately concurrent correct history with a budget of one node.
+        let mut b = HistoryBuilder::new();
+        let mut ops = Vec::new();
+        for i in 0..4 {
+            ops.push(b.invoke(p(i), queue::enqueue(i64::from(i))));
+        }
+        for op in ops {
+            b.respond(op, OpValue::Bool(true));
+        }
+        let history = b.build();
+        let object = LinSpec::with_config(
+            QueueSpec::new(),
+            CheckerConfig {
+                memoize: true,
+                max_explored_states: Some(1),
+            },
+        );
+        assert_eq!(object.check(&history), Verdict::Inconclusive);
+        assert!(object.contains(&history)); // fails open
+    }
+
+    #[test]
+    fn memoization_does_not_change_verdicts() {
+        let mut b = HistoryBuilder::new();
+        let e1 = b.invoke(p(0), queue::enqueue(1));
+        let e2 = b.invoke(p(1), queue::enqueue(2));
+        b.respond(e2, OpValue::Bool(true));
+        b.respond(e1, OpValue::Bool(true));
+        let d1 = b.invoke(p(0), queue::dequeue());
+        let d2 = b.invoke(p(1), queue::dequeue());
+        b.respond(d1, OpValue::Int(2));
+        b.respond(d2, OpValue::Int(1));
+        let history = b.build();
+
+        let with = LinSpec::new(QueueSpec::new());
+        let without = LinSpec::with_config(
+            QueueSpec::new(),
+            CheckerConfig {
+                memoize: false,
+                max_explored_states: None,
+            },
+        );
+        assert_eq!(with.check(&history).is_member(), without.check(&history).is_member());
+    }
+
+    #[test]
+    fn genlin_description_names_the_object() {
+        let object = LinSpec::new(QueueSpec::new());
+        assert!(object.description().contains("queue"));
+    }
+}

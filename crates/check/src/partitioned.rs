@@ -1,0 +1,206 @@
+//! Product-object specialisation: partition a history by key and check each part
+//! independently.
+//!
+//! Some sequential objects are *products* of independent sub-objects: a set is the
+//! product of one boolean flag per element, a key-value map is the product of one
+//! register per key. For such objects a history is linearizable if and only if each
+//! per-key projection is linearizable against the corresponding sub-object, which turns
+//! the NP-hard general problem into many small independent instances. This is the
+//! tractability observation behind the polynomial monitors the paper cites ([15, 32])
+//! and the standard "partition by key" optimisation of practical linearizability
+//! checkers.
+//!
+//! The decomposition is *only* valid for product objects: queues and stacks are not
+//! products (their elements interact through ordering), so [`PartitionedSpec`] must not
+//! be used for them. The type does not try to detect misuse; choosing a valid
+//! partitioning function is the caller's obligation and is documented on
+//! [`PartitionedSpec::new`].
+
+use crate::genlin::GenLinObject;
+use crate::linearizability::LinSpec;
+use crate::witness::{Verdict, Violation};
+use linrv_history::{History, Operation};
+use linrv_spec::SequentialSpec;
+use std::collections::BTreeMap;
+
+/// Linearizability of a product object, decided per partition.
+///
+/// The partition function maps each operation to the key of the sub-object it touches.
+/// The history is a member iff every per-key projection is linearizable with respect to
+/// the (shared) sub-object specification.
+pub struct PartitionedSpec<S, F> {
+    sub_spec_factory: Box<dyn Fn() -> S + Send + Sync>,
+    partition: F,
+    description: String,
+}
+
+impl<S, F> PartitionedSpec<S, F>
+where
+    S: SequentialSpec,
+    F: Fn(&Operation) -> i64 + Send + Sync,
+{
+    /// Creates a partitioned checker.
+    ///
+    /// `sub_spec_factory` builds a fresh sub-object specification for each key (each
+    /// sub-object starts from its own initial state); `partition` maps an operation to
+    /// the key of the sub-object it touches.
+    ///
+    /// **Correctness obligation:** the object being checked must be the independent
+    /// product of the per-key sub-objects — operations on different keys must commute
+    /// and never observe each other. Sets and key-value maps qualify; queues, stacks
+    /// and counters do not.
+    pub fn new(
+        sub_spec_factory: impl Fn() -> S + Send + Sync + 'static,
+        partition: F,
+        description: impl Into<String>,
+    ) -> Self {
+        PartitionedSpec {
+            sub_spec_factory: Box::new(sub_spec_factory),
+            partition,
+            description: description.into(),
+        }
+    }
+
+    /// Decides membership, returning the verdict of the first violating partition, if
+    /// any.
+    pub fn check(&self, history: &History) -> Verdict {
+        if let Err(err) = history.check_well_formed() {
+            return Verdict::NotMember {
+                violation: Violation {
+                    history: history.clone(),
+                    explanation: format!("history is not well formed: {err}"),
+                },
+            };
+        }
+        // Group events by partition key, preserving order.
+        let mut per_key: BTreeMap<i64, Vec<linrv_history::Event>> = BTreeMap::new();
+        let records = history.operations();
+        let key_of: BTreeMap<_, _> = records
+            .iter()
+            .map(|r| (r.id, (self.partition)(&r.operation)))
+            .collect();
+        for event in history.events() {
+            let key = key_of[&event.op_id];
+            per_key.entry(key).or_default().push(event.clone());
+        }
+        let mut inconclusive = false;
+        for (key, events) in per_key {
+            let sub_history = History::from_events(events);
+            let sub = LinSpec::new((self.sub_spec_factory)());
+            match sub.check(&sub_history) {
+                Verdict::Member { .. } => {}
+                Verdict::NotMember { violation } => {
+                    return Verdict::NotMember {
+                        violation: Violation {
+                            history: violation.history,
+                            explanation: format!("partition {key}: {}", violation.explanation),
+                        },
+                    }
+                }
+                Verdict::Inconclusive => inconclusive = true,
+            }
+        }
+        if inconclusive {
+            Verdict::Inconclusive
+        } else {
+            Verdict::Member { linearization: None }
+        }
+    }
+}
+
+impl<S, F> GenLinObject for PartitionedSpec<S, F>
+where
+    S: SequentialSpec,
+    F: Fn(&Operation) -> i64 + Send + Sync,
+{
+    fn contains(&self, history: &History) -> bool {
+        !self.check(history).is_violation()
+    }
+
+    fn description(&self) -> String {
+        self.description.clone()
+    }
+}
+
+/// A partitioned checker for the integer-set object: operations are partitioned by the
+/// element they touch, and each element behaves as an independent "present/absent"
+/// sub-object (here checked with the full [`SetSpec`](linrv_spec::SetSpec) restricted
+/// to that element's operations).
+pub fn partitioned_set() -> PartitionedSpec<linrv_spec::SetSpec, fn(&Operation) -> i64> {
+    fn key(op: &Operation) -> i64 {
+        op.arg.as_int().unwrap_or(0)
+    }
+    PartitionedSpec::new(
+        linrv_spec::SetSpec::new,
+        key as fn(&Operation) -> i64,
+        "linearizability w.r.t. the set object (partitioned by element)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+    use linrv_spec::ops::set as ops;
+    use linrv_spec::SetSpec;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn partitioned_and_generic_checkers_agree_on_correct_history() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::add(1), OpValue::Bool(true));
+        b.complete(p(1), ops::add(2), OpValue::Bool(true));
+        b.complete(p(0), ops::contains(1), OpValue::Bool(true));
+        b.complete(p(1), ops::remove(2), OpValue::Bool(true));
+        b.complete(p(1), ops::contains(2), OpValue::Bool(false));
+        let h = b.build();
+        let generic = LinSpec::new(SetSpec::new());
+        let partitioned = partitioned_set();
+        assert!(generic.contains(&h));
+        assert!(partitioned.contains(&h));
+    }
+
+    #[test]
+    fn partitioned_and_generic_checkers_agree_on_violation() {
+        // Contains(1) returns true even though Add(1) never happened.
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::add(2), OpValue::Bool(true));
+        b.complete(p(1), ops::contains(1), OpValue::Bool(true));
+        let h = b.build();
+        let generic = LinSpec::new(SetSpec::new());
+        let partitioned = partitioned_set();
+        assert!(!generic.contains(&h));
+        let verdict = partitioned.check(&h);
+        let violation = verdict.violation().expect("violation");
+        assert!(violation.explanation.contains("partition 1"));
+    }
+
+    #[test]
+    fn violations_in_one_partition_do_not_leak_into_others() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::add(5), OpValue::Bool(true));
+        b.complete(p(1), ops::contains(7), OpValue::Bool(true)); // bad: 7 never added
+        let h = b.build();
+        let partitioned = partitioned_set();
+        assert!(!partitioned.contains(&h));
+    }
+
+    #[test]
+    fn malformed_histories_are_rejected() {
+        let mut h = History::new();
+        h.push(linrv_history::Event::response(
+            p(0),
+            linrv_history::OpId::new(0),
+            OpValue::Unit,
+        ));
+        assert!(partitioned_set().check(&h).is_violation());
+    }
+
+    #[test]
+    fn description_mentions_partitioning() {
+        assert!(partitioned_set().description().contains("partitioned"));
+    }
+}

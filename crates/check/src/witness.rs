@@ -1,0 +1,122 @@
+//! Verdicts and violation witnesses produced by the membership checkers.
+
+use linrv_history::History;
+use std::fmt;
+
+/// Why a history was judged not to belong to an abstract object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending history (returned to the client as the ERROR witness, in the
+    /// sense of Definition 3.1's "witness").
+    pub history: History,
+    /// Human-readable explanation of the failure.
+    pub explanation: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.explanation)?;
+        write!(f, "{}", self.history)
+    }
+}
+
+/// Result of checking a history against an abstract object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The history is a member; for linearizability, a linearization is attached.
+    Member {
+        /// A sequential (or interval-sequential, flattened) history witnessing
+        /// membership, when the checker produces one.
+        linearization: Option<History>,
+    },
+    /// The history is not a member.
+    NotMember {
+        /// Evidence of the violation.
+        violation: Violation,
+    },
+    /// The checker exhausted its exploration budget without reaching a decision.
+    ///
+    /// Only produced when an explicit budget is configured
+    /// (see [`CheckerConfig::max_explored_states`](crate::CheckerConfig)).
+    Inconclusive,
+}
+
+impl Verdict {
+    /// `true` when the verdict is [`Verdict::Member`].
+    pub fn is_member(&self) -> bool {
+        matches!(self, Verdict::Member { .. })
+    }
+
+    /// `true` when the verdict is [`Verdict::NotMember`].
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::NotMember { .. })
+    }
+
+    /// The linearization witness, when membership was established with one.
+    pub fn linearization(&self) -> Option<&History> {
+        match self {
+            Verdict::Member { linearization } => linearization.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The violation, when membership was refuted.
+    pub fn violation(&self) -> Option<&Violation> {
+        match self {
+            Verdict::NotMember { violation } => Some(violation),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Member { linearization: Some(lin) } => {
+                writeln!(f, "member; linearization:")?;
+                write!(f, "{lin}")
+            }
+            Verdict::Member { linearization: None } => write!(f, "member"),
+            Verdict::NotMember { violation } => {
+                writeln!(f, "NOT a member:")?;
+                write!(f, "{violation}")
+            }
+            Verdict::Inconclusive => write!(f, "inconclusive (exploration budget exhausted)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let member = Verdict::Member { linearization: None };
+        assert!(member.is_member());
+        assert!(!member.is_violation());
+        assert!(member.linearization().is_none());
+
+        let violation = Verdict::NotMember {
+            violation: Violation {
+                history: History::new(),
+                explanation: "no linearization exists".into(),
+            },
+        };
+        assert!(violation.is_violation());
+        assert!(violation.violation().is_some());
+        assert!(!Verdict::Inconclusive.is_member());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let v = Verdict::NotMember {
+            violation: Violation {
+                history: History::new(),
+                explanation: "boom".into(),
+            },
+        };
+        assert!(v.to_string().contains("boom"));
+        assert!(Verdict::Inconclusive.to_string().contains("budget"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Bounded-size base objects via linked lists (Section 9.1).
+//!
+//! The constructions of Figures 7 and 10 write ever-growing sets into shared registers,
+//! which requires registers of unbounded size. Section 9.1 removes the assumption:
+//! represent each set as a singly linked list, and let the register hold only the
+//! (bounded-size) pointer to the first node; adding an element allocates one node that
+//! points to the previous head. [`PersistentList`] is that representation: an immutable
+//! cons list with `O(1)` insertion and full structural sharing, so publishing a new
+//! head costs one pointer write regardless of how many elements have accumulated.
+//!
+//! The `bounded_sets` benchmark (experiment E13) compares announcement publishing with
+//! `PersistentList` heads against cloning whole `BTreeSet`s.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// One node of a persistent cons list.
+#[derive(Debug)]
+struct Node<T> {
+    value: T,
+    next: Option<Arc<Node<T>>>,
+}
+
+/// An immutable singly linked list with structural sharing: pushing returns a new list
+/// whose tail is shared with the original, so the head pointer is the only per-update
+/// allocation — the Section 9.1 representation of grow-only sets.
+#[derive(Debug, Clone, Default)]
+pub struct PersistentList<T> {
+    head: Option<Arc<Node<T>>>,
+    len: usize,
+}
+
+impl<T> PersistentList<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        PersistentList { head: None, len: 0 }
+    }
+
+    /// Number of elements in the list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the list has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a new list with `value` prepended; the original is untouched and its
+    /// nodes are shared.
+    pub fn push(&self, value: T) -> Self {
+        PersistentList {
+            head: Some(Arc::new(Node {
+                value,
+                next: self.head.clone(),
+            })),
+            len: self.len + 1,
+        }
+    }
+
+    /// Iterates over the elements, most recently pushed first.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            next: self.head.as_deref(),
+        }
+    }
+}
+
+impl<T: PartialEq> PersistentList<T> {
+    /// Returns `true` when `value` appears in the list.
+    pub fn contains(&self, value: &T) -> bool {
+        self.iter().any(|v| v == value)
+    }
+}
+
+impl<T: Ord + Clone> PersistentList<T> {
+    /// Collects the elements into a sorted set (deduplicated).
+    pub fn to_set(&self) -> std::collections::BTreeSet<T> {
+        self.iter().cloned().collect()
+    }
+
+    /// Returns `true` when every element of `self` also appears in `other`, comparing
+    /// as sets.
+    pub fn subset_of(&self, other: &Self) -> bool {
+        self.to_set().is_subset(&other.to_set())
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PersistentList<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T> FromIterator<T> for PersistentList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut list = PersistentList::new();
+        for value in iter {
+            list = list.push(value);
+        }
+        list
+    }
+}
+
+/// Iterator over a [`PersistentList`], most recently pushed element first.
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    next: Option<&'a Node<T>>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.next?;
+        self.next = node.next.as_deref();
+        Some(&node.value)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for PersistentList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shares_structure() {
+        let a = PersistentList::new().push(1).push(2);
+        let b = a.push(3);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
+        assert!(b.contains(&1));
+        assert!(!a.contains(&3));
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn set_conversions_and_subset() {
+        let a: PersistentList<i32> = [1, 2, 3].into_iter().collect();
+        let b = a.push(4);
+        assert!(a.subset_of(&b));
+        assert!(!b.subset_of(&a));
+        assert_eq!(a.to_set().len(), 3);
+    }
+
+    #[test]
+    fn empty_list_behaviour_and_display() {
+        let empty: PersistentList<i32> = PersistentList::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter().count(), 0);
+        assert_eq!(empty.to_string(), "[]");
+        assert_eq!(PersistentList::new().push(7).to_string(), "[7]");
+    }
+
+    #[test]
+    fn publishing_heads_is_cheap_even_for_long_lists() {
+        // Pushing onto a long list must not clone the tail: lengths grow but the
+        // shared suffix is the same allocation.
+        let mut list = PersistentList::new();
+        for i in 0..10_000 {
+            list = list.push(i);
+        }
+        let before = list.clone();
+        let after = list.push(10_000);
+        assert_eq!(before.len() + 1, after.len());
+        assert!(before.subset_of(&after));
+    }
+}

@@ -1,0 +1,280 @@
+//! Self-enforced implementations `V_{O,A}` (Figure 11, Theorem 8.2).
+//!
+//! A self-enforced implementation wraps an arbitrary implementation `A` so that **every
+//! non-ERROR response is runtime verified**: each `Apply` first obtains `(y_i, λ_i)`
+//! from the `DRV` counterpart `A*`, exchanges the resulting tuple through the
+//! verifier's snapshot object, rebuilds the sketch and tests membership. If the sketch
+//! is a member of the object, the underlying response is returned; otherwise the
+//! operation returns `ERROR` together with the witness.
+//!
+//! Theorem 8.2: `V_{O,A}` has the same progress condition as `A`; if `A` is correct,
+//! `V_{O,A}` is correct (and never returns ERROR); if `A` is incorrect, every execution
+//! of `V_{O,A}` is correct up to a prefix after which new operations return ERROR with
+//! a witness; and at any time a certificate of the computation so far can be produced.
+
+use crate::certificate::Certificate;
+use crate::drv::Drv;
+use crate::verifier::{Verifier, VerifierOutcome};
+use linrv_check::GenLinObject;
+use linrv_history::{History, OpValue, Operation, ProcessId};
+use linrv_runtime::ConcurrentObject;
+use linrv_snapshot::Snapshot;
+use linrv_spec::ObjectKind;
+use std::sync::Arc;
+
+/// The typed response of a self-enforced operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnforcedResponse {
+    /// The value returned to the caller: the underlying response when verification
+    /// succeeded, [`OpValue::Error`] otherwise.
+    pub value: OpValue,
+    /// The underlying implementation's response (always available, even on ERROR).
+    pub underlying: OpValue,
+    /// The witness history, when verification failed.
+    pub witness: Option<History>,
+}
+
+impl EnforcedResponse {
+    /// Returns `true` when the response was verified correct.
+    pub fn is_verified(&self) -> bool {
+        self.witness.is_none()
+    }
+}
+
+/// A self-enforced implementation: `A` wrapped into `A*` plus an embedded predictive
+/// verifier, so that its responses verify themselves (Figure 11).
+pub struct SelfEnforced<A, O> {
+    drv: Drv<A>,
+    verifier: Verifier<O>,
+}
+
+impl<A: ConcurrentObject, O: GenLinObject> SelfEnforced<A, O> {
+    /// Wraps `inner` for a system of `processes` processes, verifying against `object`.
+    pub fn new(inner: A, object: O, processes: usize) -> Self {
+        SelfEnforced {
+            drv: Drv::new(inner, processes),
+            verifier: Verifier::new(object, processes),
+        }
+    }
+
+    /// Wraps `inner` with explicit snapshot implementations for the announcement array
+    /// (`N` of Figure 7) and the result array (`M` of Figures 10–11).
+    pub fn with_snapshots(
+        inner: A,
+        object: O,
+        announcements: Arc<dyn Snapshot<crate::view::View>>,
+        results: Arc<dyn Snapshot<crate::view::TupleSet>>,
+    ) -> Self {
+        SelfEnforced {
+            drv: Drv::with_snapshot(inner, announcements),
+            verifier: Verifier::with_snapshot(object, results),
+        }
+    }
+
+    /// Number of processes the wrapper was created for.
+    pub fn processes(&self) -> usize {
+        self.drv.processes()
+    }
+
+    /// The wrapped implementation.
+    pub fn inner(&self) -> &A {
+        self.drv.inner()
+    }
+
+    /// The embedded verifier (exposed for experiments).
+    pub fn verifier(&self) -> &Verifier<O> {
+        &self.verifier
+    }
+
+    /// The embedded `DRV` wrapper (exposed for experiments).
+    pub fn drv(&self) -> &Drv<A> {
+        &self.drv
+    }
+
+    /// Applies an operation and returns the typed, self-verified response
+    /// (Figure 11, Lines 01–11).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `process` is outside the range the wrapper was created for.
+    pub fn apply_verified(&self, process: ProcessId, op: &Operation) -> EnforcedResponse {
+        let response = self.drv.apply_drv(process, op);
+        match self.verifier.observe(process, response.tuple()) {
+            VerifierOutcome::Ok => EnforcedResponse {
+                value: response.value.clone(),
+                underlying: response.value,
+                witness: None,
+            },
+            VerifierOutcome::Error { witness } => EnforcedResponse {
+                value: OpValue::Error,
+                underlying: response.value,
+                witness: Some(witness),
+            },
+            VerifierOutcome::InvalidViews(err) => {
+                panic!("DRV wrapper produced invalid views: {err}")
+            }
+        }
+    }
+
+    /// Produces a certificate of the computation so far (Theorem 8.2 (3)): the visible
+    /// tuples, the sketch history they encode — similar to the actual history of the
+    /// implementation at the moment of the request — and the verdict.
+    pub fn certificate(&self) -> Certificate {
+        self.certificate_as(ProcessId::new(0))
+    }
+
+    /// [`SelfEnforced::certificate`] scanning on behalf of a specific process.
+    pub fn certificate_as(&self, process: ProcessId) -> Certificate {
+        let tuples = self.verifier.collect_tuples(process);
+        let (sketch, correct) = match crate::sketch::sketch_history(&tuples) {
+            Ok(sketch) => {
+                let correct = self.verifier.object().contains(&sketch);
+                (sketch, correct)
+            }
+            Err(_) => (History::new(), false),
+        };
+        Certificate {
+            object: self.verifier.object().description(),
+            implementation: self.drv.inner().name(),
+            tuples,
+            sketch,
+            correct,
+        }
+    }
+}
+
+impl<A: ConcurrentObject, O: GenLinObject> ConcurrentObject for SelfEnforced<A, O> {
+    fn kind(&self) -> ObjectKind {
+        self.drv.inner().kind()
+    }
+
+    fn apply(&self, process: ProcessId, op: &Operation) -> OpValue {
+        self.apply_verified(process, op).value
+    }
+
+    fn name(&self) -> String {
+        format!("self-enforced {}", self.drv.inner().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_check::LinSpec;
+    use linrv_runtime::faulty::{DuplicatingStack, LossyQueue, StaleRegister};
+    use linrv_runtime::impls::{AtomicIntRegister, MsQueue, TreiberStack};
+    use linrv_runtime::{Workload, WorkloadKind};
+    use linrv_spec::ops::{queue, register, stack};
+    use linrv_spec::{QueueSpec, RegisterSpec, StackSpec};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn correct_queue_responses_are_passed_through_verified() {
+        let enforced = SelfEnforced::new(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2);
+        assert_eq!(enforced.apply(p(0), &queue::enqueue(5)), OpValue::Bool(true));
+        assert_eq!(enforced.apply(p(1), &queue::dequeue()), OpValue::Int(5));
+        assert_eq!(enforced.apply(p(0), &queue::dequeue()), OpValue::Empty);
+        let cert = enforced.certificate();
+        assert!(cert.is_correct());
+        assert_eq!(cert.operations(), 3);
+        assert!(enforced.name().contains("self-enforced"));
+        assert_eq!(enforced.kind(), linrv_spec::ObjectKind::Queue);
+    }
+
+    #[test]
+    fn lossy_queue_eventually_returns_error_with_witness() {
+        let enforced = SelfEnforced::new(LossyQueue::new(2), LinSpec::new(QueueSpec::new()), 1);
+        let mut saw_error = false;
+        for i in 0..6 {
+            enforced.apply_verified(p(0), &queue::enqueue(i));
+        }
+        for _ in 0..6 {
+            let r = enforced.apply_verified(p(0), &queue::dequeue());
+            if !r.is_verified() {
+                saw_error = true;
+                assert_eq!(r.value, OpValue::Error);
+                let witness = r.witness.as_ref().unwrap();
+                assert!(!LinSpec::new(QueueSpec::new()).contains(witness));
+            }
+        }
+        assert!(saw_error);
+        let cert = enforced.certificate();
+        assert!(!cert.is_correct());
+        assert!(cert.render().contains("VIOLATION"));
+    }
+
+    #[test]
+    fn duplicating_stack_is_caught() {
+        let enforced =
+            SelfEnforced::new(DuplicatingStack::new(2), LinSpec::new(StackSpec::new()), 1);
+        enforced.apply_verified(p(0), &stack::push(1));
+        enforced.apply_verified(p(0), &stack::push(2));
+        let mut saw_error = false;
+        for _ in 0..4 {
+            if !enforced.apply_verified(p(0), &stack::pop()).is_verified() {
+                saw_error = true;
+            }
+        }
+        assert!(saw_error, "duplicated pop was never reported");
+    }
+
+    #[test]
+    fn stale_register_is_caught() {
+        let enforced =
+            SelfEnforced::new(StaleRegister::new(2), LinSpec::new(RegisterSpec::new()), 1);
+        enforced.apply_verified(p(0), &register::write(1));
+        enforced.apply_verified(p(0), &register::write(2));
+        let mut saw_error = false;
+        for _ in 0..4 {
+            if !enforced.apply_verified(p(0), &register::read()).is_verified() {
+                saw_error = true;
+            }
+        }
+        assert!(saw_error, "stale read was never reported");
+    }
+
+    #[test]
+    fn correct_register_is_never_flagged() {
+        let enforced = SelfEnforced::new(
+            AtomicIntRegister::new(),
+            LinSpec::new(RegisterSpec::new()),
+            2,
+        );
+        for i in 0..10 {
+            assert!(enforced
+                .apply_verified(p((i % 2) as u32), &register::write(i))
+                .is_verified());
+            assert!(enforced
+                .apply_verified(p(((i + 1) % 2) as u32), &register::read())
+                .is_verified());
+        }
+        assert!(enforced.certificate().is_correct());
+    }
+
+    #[test]
+    fn multithreaded_correct_stack_never_errors() {
+        let enforced = std::sync::Arc::new(SelfEnforced::new(
+            TreiberStack::new(),
+            LinSpec::new(StackSpec::new()),
+            3,
+        ));
+        let workload = Workload::new(WorkloadKind::Stack, 31);
+        let any_error = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..3usize {
+                let enforced = std::sync::Arc::clone(&enforced);
+                let ops = workload.operations_for(t, 20);
+                handles.push(scope.spawn(move || {
+                    ops.iter()
+                        .any(|op| !enforced.apply_verified(p(t as u32), op).is_verified())
+                }));
+            }
+            handles.into_iter().any(|h| h.join().unwrap())
+        });
+        assert!(!any_error, "false alarm on a correct stack");
+        assert!(enforced.certificate().is_correct());
+    }
+}

@@ -1,0 +1,65 @@
+//! # linrv-core
+//!
+//! The primary contribution of Castañeda & Rodríguez, *Asynchronous Wait-Free Runtime
+//! Verification and Enforcement of Linearizability* (PODC 2023), as a Rust library:
+//!
+//! * [`view`] — invocation pairs, views and the view properties of Remark 7.2;
+//! * [`sketch`] — the `X(λ)` construction (Section 7.3.3) that turns a set of views
+//!   into the interval-sequential sketch of a tight execution;
+//! * [`drv`] — the `A → A*` transform of Figure 7: wrap any black-box implementation so
+//!   that every response additionally carries a view, making the implementation a
+//!   member of the *Distributed Runtime Verifiable* (`DRV`) class;
+//! * [`verifier`] — the wait-free predictive verifier `V_O` of Figure 10
+//!   (Theorem 8.1): read/write base objects only, `O(n)`-step loop, predictive
+//!   soundness + completeness + stability;
+//! * [`enforce`] — self-enforced implementations `V_{O,A}` of Figure 11
+//!   (Theorem 8.2): every non-ERROR response is runtime verified, and a certificate of
+//!   the current computation can be produced on demand;
+//! * [`decoupled`] — the decoupled variant `D_{O,A}` of Figure 12 (Section 9.2), with
+//!   separate producer and verifier roles;
+//! * [`impossibility`] — an executable rendition of the Theorem 5.1 indistinguishability
+//!   argument;
+//! * [`bounded`] — the Section 9.1 linked-list representation of grow-only sets;
+//! * [`certificate`] — serialisable accountability/forensics certificates
+//!   (Section 8.3).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use linrv_core::enforce::SelfEnforced;
+//! use linrv_check::LinSpec;
+//! use linrv_spec::{QueueSpec, ops::queue};
+//! use linrv_runtime::impls::MsQueue;
+//! use linrv_runtime::ConcurrentObject;
+//! use linrv_history::{OpValue, ProcessId};
+//!
+//! // Wrap a lock-free queue into its self-enforced counterpart for 2 processes.
+//! let enforced = SelfEnforced::new(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2);
+//! let p0 = ProcessId::new(0);
+//! assert_eq!(enforced.apply(p0, &queue::enqueue(7)), OpValue::Bool(true));
+//! assert_eq!(enforced.apply(p0, &queue::dequeue()), OpValue::Int(7));
+//! // Every response above was runtime verified; the certificate proves it.
+//! let cert = enforced.certificate();
+//! assert!(cert.is_correct());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounded;
+pub mod certificate;
+pub mod decoupled;
+pub mod drv;
+pub mod enforce;
+pub mod impossibility;
+pub mod sketch;
+pub mod verifier;
+pub mod view;
+
+pub use certificate::Certificate;
+pub use decoupled::{DecoupledProducer, DecoupledVerifier};
+pub use drv::{Drv, DrvResponse};
+pub use enforce::{EnforcedResponse, SelfEnforced};
+pub use sketch::{sketch_history, SketchError};
+pub use verifier::{Verifier, VerifierOutcome, VerifierRun};
+pub use view::{InvocationPair, TupleSet, View, ViewPropertyError, ViewTuple};

@@ -1,0 +1,249 @@
+//! Views: the static encoding of real-time order (Section 7.3.3, Remark 7.2).
+//!
+//! In the `A → A*` transform (Figure 7), every operation announces an *invocation pair*
+//! before calling the underlying implementation `A`, and returns — together with `A`'s
+//! response — the set of all invocation pairs announced so far, obtained with an atomic
+//! snapshot. That set is the operation's **view**. Views are unordered sets, yet (for
+//! tight executions) they capture the real-time order of the execution exactly: this
+//! duality between views and interval-sequential histories is what makes the `DRV`
+//! class predictively verifiable.
+
+use linrv_history::{OpId, OpValue, Operation, ProcessId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The announcement a process publishes before invoking the wrapped implementation:
+/// "process `p` is about to execute operation `op`" (the pair `(p_i, op_i)` of
+/// Figure 7, Line 01).
+///
+/// The paper assumes all `Apply` inputs are distinct; `op_id` realises that assumption
+/// by tagging each announcement with a unique identifier, so a process may re-issue the
+/// same operation description without creating ambiguity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InvocationPair {
+    /// Announcing process.
+    pub process: ProcessId,
+    /// Unique identifier of the operation instance.
+    pub op_id: OpId,
+    /// Operation description.
+    pub operation: Operation,
+}
+
+impl fmt::Display for InvocationPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {} #{})", self.process, self.operation, self.op_id)
+    }
+}
+
+/// A view: the set of invocation pairs a completed operation observed in its snapshot
+/// (Figure 7, Lines 05–06).
+pub type View = BTreeSet<InvocationPair>;
+
+/// The 4-tuple `(p_i, op_i, y_i, λ_i)` associated with a completed operation of an
+/// implementation in the `DRV` class: the process, the operation, the response obtained
+/// from the underlying implementation, and the view.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ViewTuple {
+    /// The invocation pair identifying the operation.
+    pub pair: InvocationPair,
+    /// The response obtained from the underlying implementation `A`.
+    pub response: OpValue,
+    /// The view returned by the operation.
+    pub view: View,
+}
+
+impl ViewTuple {
+    /// Creates a view tuple.
+    pub fn new(pair: InvocationPair, response: OpValue, view: View) -> Self {
+        ViewTuple {
+            pair,
+            response,
+            view,
+        }
+    }
+}
+
+impl fmt::Display for ViewTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} : {}  view={{{}}}",
+            self.pair,
+            self.response,
+            self.view
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+/// A set of view tuples — the `λ_E` of Section 7.3.3 and the content the verifier
+/// exchanges through its snapshot object (Figure 10, variable `τ_i`).
+pub type TupleSet = BTreeSet<ViewTuple>;
+
+/// Violations of the view properties of Remark 7.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewPropertyError {
+    /// An operation's own invocation pair is missing from its view (self-inclusion).
+    SelfInclusion {
+        /// The offending tuple's invocation pair.
+        pair: InvocationPair,
+    },
+    /// Two views are incomparable under containment (containment comparability).
+    Incomparable {
+        /// One of the two offending operations.
+        left: InvocationPair,
+        /// The other offending operation.
+        right: InvocationPair,
+    },
+    /// Two operations of the same process each contain the other in their views
+    /// (process sequentiality).
+    ProcessSequentiality {
+        /// One of the two offending operations.
+        first: InvocationPair,
+        /// The other offending operation.
+        second: InvocationPair,
+    },
+}
+
+impl fmt::Display for ViewPropertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewPropertyError::SelfInclusion { pair } => {
+                write!(f, "view of {pair} does not contain the operation itself")
+            }
+            ViewPropertyError::Incomparable { left, right } => {
+                write!(f, "views of {left} and {right} are incomparable under containment")
+            }
+            ViewPropertyError::ProcessSequentiality { first, second } => write!(
+                f,
+                "operations {first} and {second} of the same process observe each other"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ViewPropertyError {}
+
+/// Checks the three view properties of Remark 7.2 over a set of view tuples:
+///
+/// 1. **Self-inclusion** — `(p_i, op_i) ∈ λ_i`;
+/// 2. **Containment comparability** — any two views are ⊆-comparable;
+/// 3. **Process sequentiality** — two distinct operations of the same process cannot
+///    both appear in each other's views.
+///
+/// Any set of tuples produced by an implementation in the `DRV` class satisfies these
+/// properties; the sketch construction ([`crate::sketch`]) relies on them.
+pub fn check_view_properties(tuples: &TupleSet) -> Result<(), ViewPropertyError> {
+    for tuple in tuples {
+        if !tuple.view.contains(&tuple.pair) {
+            return Err(ViewPropertyError::SelfInclusion {
+                pair: tuple.pair.clone(),
+            });
+        }
+    }
+    for a in tuples {
+        for b in tuples {
+            if a == b {
+                continue;
+            }
+            let a_in_b = a.view.is_subset(&b.view);
+            let b_in_a = b.view.is_subset(&a.view);
+            if !a_in_b && !b_in_a {
+                return Err(ViewPropertyError::Incomparable {
+                    left: a.pair.clone(),
+                    right: b.pair.clone(),
+                });
+            }
+            if a.pair.process == b.pair.process
+                && a.pair.op_id != b.pair.op_id
+                && a.view.contains(&b.pair)
+                && b.view.contains(&a.pair)
+            {
+                return Err(ViewPropertyError::ProcessSequentiality {
+                    first: a.pair.clone(),
+                    second: b.pair.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_spec::ops::queue;
+
+    fn pair(p: u32, id: u64) -> InvocationPair {
+        InvocationPair {
+            process: ProcessId::new(p),
+            op_id: OpId::new(id),
+            operation: queue::enqueue(id as i64),
+        }
+    }
+
+    fn view_of(pairs: &[&InvocationPair]) -> View {
+        pairs.iter().map(|p| (*p).clone()).collect()
+    }
+
+    #[test]
+    fn valid_views_pass_all_three_properties() {
+        let a = pair(0, 0);
+        let b = pair(1, 1);
+        let mut tuples = TupleSet::new();
+        tuples.insert(ViewTuple::new(a.clone(), OpValue::Bool(true), view_of(&[&a])));
+        tuples.insert(ViewTuple::new(b.clone(), OpValue::Bool(true), view_of(&[&a, &b])));
+        assert_eq!(check_view_properties(&tuples), Ok(()));
+    }
+
+    #[test]
+    fn missing_self_inclusion_is_detected() {
+        let a = pair(0, 0);
+        let b = pair(1, 1);
+        let mut tuples = TupleSet::new();
+        tuples.insert(ViewTuple::new(a.clone(), OpValue::Bool(true), view_of(&[&b])));
+        assert!(matches!(
+            check_view_properties(&tuples),
+            Err(ViewPropertyError::SelfInclusion { .. })
+        ));
+    }
+
+    #[test]
+    fn incomparable_views_are_detected() {
+        let a = pair(0, 0);
+        let b = pair(1, 1);
+        let mut tuples = TupleSet::new();
+        tuples.insert(ViewTuple::new(a.clone(), OpValue::Bool(true), view_of(&[&a])));
+        tuples.insert(ViewTuple::new(b.clone(), OpValue::Bool(true), view_of(&[&b])));
+        assert!(matches!(
+            check_view_properties(&tuples),
+            Err(ViewPropertyError::Incomparable { .. })
+        ));
+    }
+
+    #[test]
+    fn mutual_observation_by_one_process_is_detected() {
+        let a = pair(0, 0);
+        let b = pair(0, 1);
+        let mut tuples = TupleSet::new();
+        tuples.insert(ViewTuple::new(a.clone(), OpValue::Bool(true), view_of(&[&a, &b])));
+        tuples.insert(ViewTuple::new(b.clone(), OpValue::Bool(true), view_of(&[&a, &b])));
+        assert!(matches!(
+            check_view_properties(&tuples),
+            Err(ViewPropertyError::ProcessSequentiality { .. })
+        ));
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let a = pair(0, 3);
+        let t = ViewTuple::new(a.clone(), OpValue::Bool(true), view_of(&[&a]));
+        assert!(t.to_string().contains("Enqueue(3)"));
+        let err = ViewPropertyError::SelfInclusion { pair: a };
+        assert!(err.to_string().contains("does not contain"));
+    }
+}

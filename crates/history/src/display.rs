@@ -1,0 +1,105 @@
+//! ASCII timeline rendering of histories, in the style of the paper's figures.
+//!
+//! Each process gets one line; each operation is drawn as an interval
+//! `|--- Op(arg):resp ---|` positioned by the indices of its invocation and response
+//! events. Pending operations are drawn with an open right end.
+
+use crate::history::History;
+
+/// Renders a history as an ASCII timeline, one line per process.
+///
+/// ```
+/// use linrv_history::{HistoryBuilder, Operation, OpValue, ProcessId, display};
+/// let mut b = HistoryBuilder::new();
+/// let a = b.invoke(ProcessId::new(0), Operation::new("Push", OpValue::Int(1)));
+/// b.respond(a, OpValue::Bool(true));
+/// let text = display::render_timeline(&b.build());
+/// assert!(text.contains("Push(1):true"));
+/// ```
+pub fn render_timeline(history: &History) -> String {
+    const CELL: usize = 4;
+    let records = history.operations();
+    let n_events = history.len().max(1);
+    let width = n_events * CELL + 2;
+
+    let mut processes: Vec<_> = history.processes().into_iter().collect();
+    processes.sort();
+
+    let mut out = String::new();
+    for p in processes {
+        let mut line: Vec<char> = vec![' '; width];
+        let mut labels: Vec<(usize, String)> = Vec::new();
+        for r in records.iter().filter(|r| r.process == p) {
+            let start = r.invocation_index * CELL;
+            let end = match r.response_index {
+                Some(idx) => idx * CELL + CELL - 1,
+                None => width - 1,
+            };
+            line[start] = '|';
+            for cell in line.iter_mut().take(end.min(width - 1)).skip(start + 1) {
+                *cell = '-';
+            }
+            if r.response_index.is_some() {
+                line[end.min(width - 1)] = '|';
+            } else {
+                line[width - 1] = '>';
+            }
+            let label = match &r.response {
+                Some(v) => format!("{}:{}", r.operation, v),
+                None => format!("{}:…", r.operation),
+            };
+            labels.push((start, label));
+        }
+        let mut label_line: Vec<char> = vec![' '; width + 40];
+        for (start, label) in labels {
+            for (i, ch) in label.chars().enumerate() {
+                if start + 1 + i < label_line.len() {
+                    label_line[start + 1 + i] = ch;
+                }
+            }
+        }
+        out.push_str(&format!("{p}: "));
+        out.push_str(&line.iter().collect::<String>());
+        out.push('\n');
+        out.push_str("    ");
+        out.push_str(label_line.iter().collect::<String>().trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use crate::op::{OpValue, Operation};
+    use crate::process::ProcessId;
+
+    #[test]
+    fn renders_each_process_on_its_own_line() {
+        let mut b = HistoryBuilder::new();
+        let a = b.invoke(ProcessId::new(0), Operation::new("Push", OpValue::Int(1)));
+        let c = b.invoke(ProcessId::new(1), Operation::nullary("Pop"));
+        b.respond(c, OpValue::Int(1));
+        b.respond(a, OpValue::Bool(true));
+        let text = render_timeline(&b.build());
+        assert!(text.contains("p1:"));
+        assert!(text.contains("p2:"));
+        assert!(text.contains("Push(1):true"));
+        assert!(text.contains("Pop():1"));
+    }
+
+    #[test]
+    fn pending_operations_render_with_open_end() {
+        let mut b = HistoryBuilder::new();
+        b.invoke(ProcessId::new(0), Operation::nullary("Pop"));
+        let text = render_timeline(&b.build());
+        assert!(text.contains('>'));
+        assert!(text.contains("Pop():…"));
+    }
+
+    #[test]
+    fn empty_history_renders_empty_string() {
+        assert_eq!(render_timeline(&History::new()), "");
+    }
+}

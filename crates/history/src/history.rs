@@ -1,0 +1,578 @@
+//! Finite histories and their basic algebra.
+
+use crate::event::{Event, EventKind};
+use crate::op::{OpId, OpValue, Operation};
+use crate::process::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Completion status of an operation within a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpStatus {
+    /// Both invocation and response appear in the history.
+    Complete,
+    /// Only the invocation appears in the history.
+    Pending,
+}
+
+/// A per-operation summary extracted from a history: the invoking process, the
+/// operation description, the positions of its invocation/response events and the
+/// response value (if the operation is complete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Operation instance identifier.
+    pub id: OpId,
+    /// Invoking process.
+    pub process: ProcessId,
+    /// Operation description.
+    pub operation: Operation,
+    /// Index of the invocation event in the history.
+    pub invocation_index: usize,
+    /// Index of the response event in the history, when complete.
+    pub response_index: Option<usize>,
+    /// Response value, when complete.
+    pub response: Option<OpValue>,
+}
+
+impl OpRecord {
+    /// Completion status of the operation.
+    pub fn status(&self) -> OpStatus {
+        if self.response_index.is_some() {
+            OpStatus::Complete
+        } else {
+            OpStatus::Pending
+        }
+    }
+
+    /// Returns `true` when the operation is complete.
+    pub fn is_complete(&self) -> bool {
+        self.status() == OpStatus::Complete
+    }
+}
+
+/// Why a sequence of events fails to be a well-formed history (Section 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellFormedError {
+    /// A response appears whose operation was never invoked before it.
+    ResponseWithoutInvocation {
+        /// Offending event index.
+        index: usize,
+        /// Operation identifier of the response.
+        op: OpId,
+    },
+    /// A process invokes a new operation while a previous one of its operations is
+    /// still pending (violates per-process sequentiality).
+    OverlappingInvocations {
+        /// Offending event index.
+        index: usize,
+        /// Process that violated sequentiality.
+        process: ProcessId,
+    },
+    /// The same operation identifier is invoked twice.
+    DuplicateInvocation {
+        /// Offending event index.
+        index: usize,
+        /// Duplicated operation identifier.
+        op: OpId,
+    },
+    /// The same operation receives two responses.
+    DuplicateResponse {
+        /// Offending event index.
+        index: usize,
+        /// Operation identifier responded to twice.
+        op: OpId,
+    },
+    /// A response is attributed to a different process than its invocation.
+    ProcessMismatch {
+        /// Offending event index.
+        index: usize,
+        /// Operation identifier with mismatched processes.
+        op: OpId,
+    },
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormedError::ResponseWithoutInvocation { index, op } => {
+                write!(f, "event {index}: response to {op} without a prior invocation")
+            }
+            WellFormedError::OverlappingInvocations { index, process } => {
+                write!(f, "event {index}: {process} invoked an operation while another was pending")
+            }
+            WellFormedError::DuplicateInvocation { index, op } => {
+                write!(f, "event {index}: duplicate invocation of {op}")
+            }
+            WellFormedError::DuplicateResponse { index, op } => {
+                write!(f, "event {index}: duplicate response for {op}")
+            }
+            WellFormedError::ProcessMismatch { index, op } => {
+                write!(f, "event {index}: response to {op} by a different process than its invocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WellFormedError {}
+
+/// A finite history: a sequence of invocation and response events (Section 2).
+///
+/// Histories are the only information a verifier can obtain from a black-box
+/// implementation. All of the paper's correctness machinery (linearizability,
+/// similarity, the `GenLin` family, views and sketches) is defined over histories.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// Creates a history from a sequence of events.
+    ///
+    /// The events are not checked for well-formedness; use [`History::check_well_formed`]
+    /// or [`History::is_well_formed`] for that.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        History { events }
+    }
+
+    /// The events of the history, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events in the history.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when the history contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends an event to the history.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Checks the well-formedness conditions of Section 2 and reports the first
+    /// violation found, if any.
+    ///
+    /// A history is well formed when (1) each process is sequential — it invokes a new
+    /// operation only after its previous one has responded — and (2) every response is
+    /// preceded by a matching invocation of the same operation by the same process.
+    pub fn check_well_formed(&self) -> Result<(), WellFormedError> {
+        let mut pending_by_process: BTreeMap<ProcessId, OpId> = BTreeMap::new();
+        let mut seen_invocations: BTreeSet<OpId> = BTreeSet::new();
+        let mut seen_responses: BTreeSet<OpId> = BTreeSet::new();
+        let mut invoking_process: BTreeMap<OpId, ProcessId> = BTreeMap::new();
+
+        for (index, event) in self.events.iter().enumerate() {
+            match &event.kind {
+                EventKind::Invocation { .. } => {
+                    if seen_invocations.contains(&event.op_id) {
+                        return Err(WellFormedError::DuplicateInvocation {
+                            index,
+                            op: event.op_id,
+                        });
+                    }
+                    if pending_by_process.contains_key(&event.process) {
+                        return Err(WellFormedError::OverlappingInvocations {
+                            index,
+                            process: event.process,
+                        });
+                    }
+                    seen_invocations.insert(event.op_id);
+                    invoking_process.insert(event.op_id, event.process);
+                    pending_by_process.insert(event.process, event.op_id);
+                }
+                EventKind::Response { .. } => {
+                    if !seen_invocations.contains(&event.op_id) {
+                        return Err(WellFormedError::ResponseWithoutInvocation {
+                            index,
+                            op: event.op_id,
+                        });
+                    }
+                    if seen_responses.contains(&event.op_id) {
+                        return Err(WellFormedError::DuplicateResponse {
+                            index,
+                            op: event.op_id,
+                        });
+                    }
+                    if invoking_process.get(&event.op_id) != Some(&event.process) {
+                        return Err(WellFormedError::ProcessMismatch {
+                            index,
+                            op: event.op_id,
+                        });
+                    }
+                    seen_responses.insert(event.op_id);
+                    pending_by_process.remove(&event.process);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` when the history is well formed (Section 2).
+    pub fn is_well_formed(&self) -> bool {
+        self.check_well_formed().is_ok()
+    }
+
+    /// Per-operation records, keyed by operation identifier, in invocation order.
+    pub fn operations(&self) -> Vec<OpRecord> {
+        let mut records: Vec<OpRecord> = Vec::new();
+        let mut index_of: BTreeMap<OpId, usize> = BTreeMap::new();
+        for (i, event) in self.events.iter().enumerate() {
+            match &event.kind {
+                EventKind::Invocation { op } => {
+                    index_of.insert(event.op_id, records.len());
+                    records.push(OpRecord {
+                        id: event.op_id,
+                        process: event.process,
+                        operation: op.clone(),
+                        invocation_index: i,
+                        response_index: None,
+                        response: None,
+                    });
+                }
+                EventKind::Response { value } => {
+                    if let Some(&slot) = index_of.get(&event.op_id) {
+                        records[slot].response_index = Some(i);
+                        records[slot].response = Some(value.clone());
+                    }
+                }
+            }
+        }
+        records
+    }
+
+    /// Record of a single operation, if it appears in the history.
+    pub fn operation(&self, id: OpId) -> Option<OpRecord> {
+        self.operations().into_iter().find(|r| r.id == id)
+    }
+
+    /// Iterator over the complete operations of the history.
+    pub fn complete_operations(&self) -> impl Iterator<Item = OpRecord> {
+        self.operations().into_iter().filter(|r| r.is_complete())
+    }
+
+    /// Iterator over the pending operations of the history.
+    pub fn pending_operations(&self) -> impl Iterator<Item = OpRecord> {
+        self.operations().into_iter().filter(|r| !r.is_complete())
+    }
+
+    /// `comp(E)`: the history obtained by removing the invocations of all pending
+    /// operations (Section 4).
+    pub fn completed(&self) -> History {
+        let pending: BTreeSet<OpId> = self.pending_operations().map(|r| r.id).collect();
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|e| !pending.contains(&e.op_id))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// `E|p_i`: the subsequence of events performed by `process` (Section 4).
+    pub fn project(&self, process: ProcessId) -> History {
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.process == process)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The set of processes that appear in the history.
+    pub fn processes(&self) -> BTreeSet<ProcessId> {
+        self.events.iter().map(|e| e.process).collect()
+    }
+
+    /// Two histories are *equivalent* when every process performs the same sequence of
+    /// invocations and responses in both (Section 4).
+    pub fn equivalent(&self, other: &History) -> bool {
+        let procs: BTreeSet<ProcessId> = self.processes().union(&other.processes()).copied().collect();
+        procs.iter().all(|&p| {
+            let a = self.project(p);
+            let b = other.project(p);
+            a.events == b.events
+        })
+    }
+
+    /// An *extension* of `self` appends responses to some pending operations
+    /// (Section 4). `responses` maps pending operation identifiers to the appended
+    /// response values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the offending operation if any identifier in
+    /// `responses` is not a pending operation of the history.
+    pub fn extend_with_responses(
+        &self,
+        responses: &BTreeMap<OpId, OpValue>,
+    ) -> Result<History, OpId> {
+        let pending: BTreeMap<OpId, OpRecord> =
+            self.pending_operations().map(|r| (r.id, r)).collect();
+        for id in responses.keys() {
+            if !pending.contains_key(id) {
+                return Err(*id);
+            }
+        }
+        let mut extended = self.clone();
+        for (id, value) in responses {
+            let record = &pending[id];
+            extended.push(Event::response(record.process, *id, value.clone()));
+        }
+        Ok(extended)
+    }
+
+    /// Removes the invocations of the given pending operations, returning the reduced
+    /// history. Identifiers of operations that are not pending are ignored.
+    pub fn remove_pending(&self, ops: &BTreeSet<OpId>) -> History {
+        let pending: BTreeSet<OpId> = self.pending_operations().map(|r| r.id).collect();
+        let to_remove: BTreeSet<OpId> = ops.intersection(&pending).copied().collect();
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|e| !to_remove.contains(&e.op_id))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The prefix of the history with the first `len` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the number of events.
+    pub fn prefix(&self, len: usize) -> History {
+        History {
+            events: self.events[..len].to_vec(),
+        }
+    }
+
+    /// Iterator over all prefixes of the history, from the empty history to the full
+    /// history.
+    pub fn prefixes(&self) -> impl Iterator<Item = History> + '_ {
+        (0..=self.events.len()).map(move |len| self.prefix(len))
+    }
+
+    /// Returns `true` when the history is *sequential*: the real-time order `<_E` over
+    /// its complete operations is total and no operation is pending (Section 4).
+    pub fn is_sequential(&self) -> bool {
+        if self.pending_operations().next().is_some() {
+            return false;
+        }
+        // Sequential ⇔ events strictly alternate inv/res of the same operation.
+        let mut iter = self.events.iter();
+        while let Some(inv) = iter.next() {
+            if !inv.is_invocation() {
+                return false;
+            }
+            match iter.next() {
+                Some(res) if res.is_response() && res.op_id == inv.op_id => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Concatenates two histories.
+    pub fn concat(&self, other: &History) -> History {
+        let mut events = self.events.clone();
+        events.extend(other.events.iter().cloned());
+        History { events }
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for event in &self.events {
+            writeln!(f, "{event}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Event> for History {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        History {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+
+    fn sample() -> History {
+        // p1: Enqueue(1):true ; p2: Dequeue():1 overlapping.
+        let p1 = ProcessId::new(0);
+        let p2 = ProcessId::new(1);
+        let mut b = HistoryBuilder::new();
+        let enq = b.invoke(p1, Operation::new("Enqueue", OpValue::Int(1)));
+        let deq = b.invoke(p2, Operation::nullary("Dequeue"));
+        b.respond(enq, OpValue::Bool(true));
+        b.respond(deq, OpValue::Int(1));
+        b.build()
+    }
+
+    #[test]
+    fn well_formedness_of_sample() {
+        assert!(sample().is_well_formed());
+    }
+
+    #[test]
+    fn detects_overlapping_invocations_by_one_process() {
+        let p = ProcessId::new(0);
+        let mut h = History::new();
+        h.push(Event::invocation(p, OpId::new(0), Operation::nullary("Pop")));
+        h.push(Event::invocation(p, OpId::new(1), Operation::nullary("Pop")));
+        assert!(matches!(
+            h.check_well_formed(),
+            Err(WellFormedError::OverlappingInvocations { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_response_without_invocation() {
+        let p = ProcessId::new(0);
+        let mut h = History::new();
+        h.push(Event::response(p, OpId::new(0), OpValue::Unit));
+        assert!(matches!(
+            h.check_well_formed(),
+            Err(WellFormedError::ResponseWithoutInvocation { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_duplicate_invocation_and_response() {
+        let p = ProcessId::new(0);
+        let q = ProcessId::new(1);
+        let mut h = History::new();
+        h.push(Event::invocation(p, OpId::new(0), Operation::nullary("Pop")));
+        h.push(Event::invocation(q, OpId::new(0), Operation::nullary("Pop")));
+        assert!(matches!(
+            h.check_well_formed(),
+            Err(WellFormedError::DuplicateInvocation { .. })
+        ));
+
+        let mut h = History::new();
+        h.push(Event::invocation(p, OpId::new(0), Operation::nullary("Pop")));
+        h.push(Event::response(p, OpId::new(0), OpValue::Empty));
+        h.push(Event::invocation(p, OpId::new(1), Operation::nullary("Pop")));
+        h.push(Event::response(p, OpId::new(0), OpValue::Empty));
+        assert!(matches!(
+            h.check_well_formed(),
+            Err(WellFormedError::DuplicateResponse { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_process_mismatch() {
+        let p = ProcessId::new(0);
+        let q = ProcessId::new(1);
+        let mut h = History::new();
+        h.push(Event::invocation(p, OpId::new(0), Operation::nullary("Pop")));
+        h.push(Event::response(q, OpId::new(0), OpValue::Empty));
+        assert!(matches!(
+            h.check_well_formed(),
+            Err(WellFormedError::ProcessMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn complete_and_pending_operations() {
+        let p1 = ProcessId::new(0);
+        let p2 = ProcessId::new(1);
+        let mut b = HistoryBuilder::new();
+        let a = b.invoke(p1, Operation::new("Enqueue", OpValue::Int(1)));
+        let _pending = b.invoke(p2, Operation::nullary("Dequeue"));
+        b.respond(a, OpValue::Bool(true));
+        let h = b.build();
+        assert_eq!(h.complete_operations().count(), 1);
+        assert_eq!(h.pending_operations().count(), 1);
+        let comp = h.completed();
+        assert_eq!(comp.len(), 2);
+        assert_eq!(comp.pending_operations().count(), 0);
+    }
+
+    #[test]
+    fn projection_and_equivalence() {
+        let h = sample();
+        let p1 = ProcessId::new(0);
+        assert_eq!(h.project(p1).len(), 2);
+        assert!(h.equivalent(&h));
+
+        // Reordering events of different processes preserves equivalence.
+        let mut events = h.events().to_vec();
+        events.swap(0, 1);
+        let g = History::from_events(events);
+        assert!(h.equivalent(&g));
+    }
+
+    #[test]
+    fn extension_appends_responses_to_pending_only() {
+        let p = ProcessId::new(0);
+        let mut b = HistoryBuilder::new();
+        let pending = b.invoke(p, Operation::nullary("Pop"));
+        let h = b.build();
+        let mut resp = BTreeMap::new();
+        resp.insert(pending, OpValue::Int(3));
+        let ext = h.extend_with_responses(&resp).unwrap();
+        assert_eq!(ext.complete_operations().count(), 1);
+
+        let mut bad = BTreeMap::new();
+        bad.insert(OpId::new(99), OpValue::Int(3));
+        assert_eq!(h.extend_with_responses(&bad), Err(OpId::new(99)));
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let p = ProcessId::new(0);
+        let mut b = HistoryBuilder::new();
+        let a = b.invoke(p, Operation::new("Push", OpValue::Int(1)));
+        b.respond(a, OpValue::Bool(true));
+        let c = b.invoke(p, Operation::nullary("Pop"));
+        b.respond(c, OpValue::Int(1));
+        assert!(b.build().is_sequential());
+        assert!(!sample().is_sequential());
+    }
+
+    #[test]
+    fn prefixes_enumerated() {
+        let h = sample();
+        assert_eq!(h.prefixes().count(), h.len() + 1);
+        assert!(h.prefix(0).is_empty());
+        assert_eq!(h.prefix(h.len()), h);
+    }
+
+    #[test]
+    fn remove_pending_only_touches_pending_ops() {
+        let p1 = ProcessId::new(0);
+        let p2 = ProcessId::new(1);
+        let mut b = HistoryBuilder::new();
+        let a = b.invoke(p1, Operation::new("Enqueue", OpValue::Int(1)));
+        let pend = b.invoke(p2, Operation::nullary("Dequeue"));
+        b.respond(a, OpValue::Bool(true));
+        let h = b.build();
+        let mut set = BTreeSet::new();
+        set.insert(pend);
+        set.insert(a); // complete: must be ignored
+        let reduced = h.remove_pending(&set);
+        assert_eq!(reduced.len(), 2);
+        assert_eq!(reduced.pending_operations().count(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Interval-sequential histories.
+//!
+//! An *interval-sequential* history is an alternating sequence of non-empty sets,
+//! `I_1 R_1 I_2 R_2 …`, where each `I_x` contains only invocations and each `R_x` only
+//! responses, starting with a set of invocations (footnote 5 and Claim 7.2 of the
+//! paper). The `X(λ)` sketch construction of Section 7.3.3 produces histories of this
+//! shape, and interval-linearizability is defined over them.
+//!
+//! Every well-formed history can be *grouped* into this form by splitting its event
+//! sequence into maximal runs of invocations and responses; conversely an
+//! interval-sequential history *flattens* into an ordinary [`History`] by emitting the
+//! events of each set in an arbitrary (but fixed) order. All flattenings of the same
+//! interval-sequential history are equivalent and have the same `≺` relation, so they
+//! form the equivalence class the paper denotes `X(λ_E)`.
+
+use crate::event::{Event, EventKind};
+use crate::history::History;
+use crate::op::{OpId, OpValue, Operation};
+use crate::process::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of an interval-sequential history: a non-empty set of invocations or a
+/// non-empty set of responses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntervalStep {
+    /// A set of invocations occurring "at the same time".
+    Invocations(Vec<(ProcessId, OpId, Operation)>),
+    /// A set of responses occurring "at the same time".
+    Responses(Vec<(ProcessId, OpId, OpValue)>),
+}
+
+impl IntervalStep {
+    /// Returns `true` when the step is a set of invocations.
+    pub fn is_invocations(&self) -> bool {
+        matches!(self, IntervalStep::Invocations(_))
+    }
+
+    /// Number of events in the step.
+    pub fn len(&self) -> usize {
+        match self {
+            IntervalStep::Invocations(v) => v.len(),
+            IntervalStep::Responses(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` when the step contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An interval-sequential history: alternating invocation/response sets starting with
+/// invocations.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IntervalHistory {
+    steps: Vec<IntervalStep>,
+}
+
+impl IntervalHistory {
+    /// Creates an empty interval-sequential history.
+    pub fn new() -> Self {
+        IntervalHistory { steps: Vec::new() }
+    }
+
+    /// Creates an interval history from explicit steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the steps do not alternate invocations/responses starting with
+    /// invocations, or if any step is empty.
+    pub fn from_steps(steps: Vec<IntervalStep>) -> Self {
+        for (i, step) in steps.iter().enumerate() {
+            assert!(!step.is_empty(), "interval step {i} is empty");
+            let expect_invocations = i % 2 == 0;
+            assert_eq!(
+                step.is_invocations(),
+                expect_invocations,
+                "interval step {i} does not alternate invocations/responses"
+            );
+        }
+        IntervalHistory { steps }
+    }
+
+    /// The steps of the history.
+    pub fn steps(&self) -> &[IntervalStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` when there are no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a set of invocations as the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous step is also a set of invocations or if `invs` is empty.
+    pub fn push_invocations(&mut self, invs: Vec<(ProcessId, OpId, Operation)>) {
+        assert!(!invs.is_empty(), "empty invocation step");
+        assert!(
+            self.steps.len() % 2 == 0,
+            "expected a response step at position {}",
+            self.steps.len()
+        );
+        self.steps.push(IntervalStep::Invocations(invs));
+    }
+
+    /// Appends a set of responses as the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous step is not a set of invocations or if `resps` is empty.
+    pub fn push_responses(&mut self, resps: Vec<(ProcessId, OpId, OpValue)>) {
+        assert!(!resps.is_empty(), "empty response step");
+        assert!(
+            self.steps.len() % 2 == 1,
+            "expected an invocation step at position {}",
+            self.steps.len()
+        );
+        self.steps.push(IntervalStep::Responses(resps));
+    }
+
+    /// Flattens the interval-sequential history into an ordinary history by emitting
+    /// the events of each step in the order they are stored.
+    ///
+    /// All flattenings of the same interval history are equivalent with identical `≺`
+    /// relations (they are the equivalence class `X(λ)` of Section 7.3.3).
+    pub fn flatten(&self) -> History {
+        let mut events = Vec::new();
+        for step in &self.steps {
+            match step {
+                IntervalStep::Invocations(invs) => {
+                    for (p, id, op) in invs {
+                        events.push(Event::invocation(*p, *id, op.clone()));
+                    }
+                }
+                IntervalStep::Responses(resps) => {
+                    for (p, id, value) in resps {
+                        events.push(Event::response(*p, *id, value.clone()));
+                    }
+                }
+            }
+        }
+        History::from_events(events)
+    }
+
+    /// Groups an ordinary history into its interval-sequential form by splitting its
+    /// event sequence into maximal runs of invocations and of responses (Claim 7.2).
+    pub fn group(history: &History) -> IntervalHistory {
+        let mut steps: Vec<IntervalStep> = Vec::new();
+        for event in history.events() {
+            match &event.kind {
+                EventKind::Invocation { op } => {
+                    match steps.last_mut() {
+                        Some(IntervalStep::Invocations(invs)) => {
+                            invs.push((event.process, event.op_id, op.clone()));
+                        }
+                        _ => steps.push(IntervalStep::Invocations(vec![(
+                            event.process,
+                            event.op_id,
+                            op.clone(),
+                        )])),
+                    }
+                }
+                EventKind::Response { value } => match steps.last_mut() {
+                    Some(IntervalStep::Responses(resps)) => {
+                        resps.push((event.process, event.op_id, value.clone()));
+                    }
+                    _ => steps.push(IntervalStep::Responses(vec![(
+                        event.process,
+                        event.op_id,
+                        value.clone(),
+                    )])),
+                },
+            }
+        }
+        IntervalHistory { steps }
+    }
+}
+
+impl fmt::Display for IntervalHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            match step {
+                IntervalStep::Invocations(invs) => {
+                    write!(f, "{{ ")?;
+                    for (p, id, op) in invs {
+                        write!(f, "inv[{p}:{op} #{id}] ")?;
+                    }
+                    writeln!(f, "}}")?;
+                }
+                IntervalStep::Responses(resps) => {
+                    write!(f, "{{ ")?;
+                    for (p, id, v) in resps {
+                        write!(f, "res[{p}:{v} #{id}] ")?;
+                    }
+                    writeln!(f, "}}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn group_and_flatten_round_trip() {
+        let mut b = HistoryBuilder::new();
+        let a = b.invoke(p(0), Operation::new("Push", OpValue::Int(1)));
+        let c = b.invoke(p(1), Operation::nullary("Pop"));
+        b.respond(c, OpValue::Int(1));
+        b.respond(a, OpValue::Bool(true));
+        let h = b.build();
+
+        let grouped = IntervalHistory::group(&h);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped.steps()[0].len(), 2);
+        let flat = grouped.flatten();
+        assert!(flat.equivalent(&h));
+        assert_eq!(flat.len(), h.len());
+    }
+
+    #[test]
+    fn from_steps_validates_alternation() {
+        let inv = IntervalStep::Invocations(vec![(p(0), OpId::new(0), Operation::nullary("Pop"))]);
+        let res = IntervalStep::Responses(vec![(p(0), OpId::new(0), OpValue::Empty)]);
+        let ih = IntervalHistory::from_steps(vec![inv.clone(), res.clone()]);
+        assert_eq!(ih.len(), 2);
+        let result = std::panic::catch_unwind(|| {
+            IntervalHistory::from_steps(vec![res.clone(), inv.clone()]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn push_enforces_alternation() {
+        let mut ih = IntervalHistory::new();
+        ih.push_invocations(vec![(p(0), OpId::new(0), Operation::nullary("Pop"))]);
+        ih.push_responses(vec![(p(0), OpId::new(0), OpValue::Empty)]);
+        ih.push_invocations(vec![(p(1), OpId::new(1), Operation::nullary("Pop"))]);
+        assert_eq!(ih.len(), 3);
+        let flat = ih.flatten();
+        assert_eq!(flat.pending_operations().count(), 1);
+    }
+
+    #[test]
+    fn flatten_produces_well_formed_history() {
+        let mut ih = IntervalHistory::new();
+        ih.push_invocations(vec![
+            (p(0), OpId::new(0), Operation::new("Push", OpValue::Int(1))),
+            (p(1), OpId::new(1), Operation::nullary("Pop")),
+        ]);
+        ih.push_responses(vec![
+            (p(0), OpId::new(0), OpValue::Bool(true)),
+            (p(1), OpId::new(1), OpValue::Int(1)),
+        ]);
+        assert!(ih.flatten().is_well_formed());
+    }
+}

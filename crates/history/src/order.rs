@@ -1,0 +1,216 @@
+//! Real-time partial orders over the operations of a history.
+//!
+//! The paper uses two closely related orders:
+//!
+//! * `<_E` (Definition 4.2): defined over the *complete* operations of `E`;
+//!   `op <_E op'` iff `res(op)` precedes `inv(op')` in `E`.
+//! * `≺_E` (Section 7.1): the same relation extended to *all* operations,
+//!   complete and pending.
+//!
+//! Both are irreflexive strict partial orders. Two operations unrelated by the order
+//! are *concurrent*.
+
+use crate::history::{History, OpRecord};
+use crate::op::OpId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Returns `true` when `a <_E b` in `history`: both operations are complete and the
+/// response of `a` precedes the invocation of `b` (Definition 4.2).
+pub fn precedes_complete(history: &History, a: OpId, b: OpId) -> bool {
+    let ops: BTreeMap<OpId, OpRecord> = history.operations().into_iter().map(|r| (r.id, r)).collect();
+    match (ops.get(&a), ops.get(&b)) {
+        (Some(ra), Some(rb)) => match ra.response_index {
+            Some(res_a) => ra.is_complete() && rb.is_complete() && res_a < rb.invocation_index,
+            None => false,
+        },
+        _ => false,
+    }
+}
+
+/// Returns `true` when `a ≺_E b` in `history`: the response of `a` precedes the
+/// invocation of `b` (Section 7.1; `b` may be pending).
+pub fn precedes_all(history: &History, a: OpId, b: OpId) -> bool {
+    let ops: BTreeMap<OpId, OpRecord> = history.operations().into_iter().map(|r| (r.id, r)).collect();
+    match (ops.get(&a), ops.get(&b)) {
+        (Some(ra), Some(rb)) => match ra.response_index {
+            Some(res_a) => res_a < rb.invocation_index,
+            None => false,
+        },
+        _ => false,
+    }
+}
+
+/// Which of the paper's two real-time orders to materialise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OrderKind {
+    /// `<_E`: complete operations only.
+    CompleteOnly,
+    /// `≺_E`: all operations.
+    All,
+}
+
+/// A materialised real-time order over the operations of a history.
+///
+/// The order is represented as the set of ordered pairs `(a, b)` with `a` before `b`;
+/// this makes subset tests (`<_E ⊆ <_S`, `≺_{E'} ⊆ ≺_F`) direct, as used by
+/// linearizability (Definition 4.2) and similarity (Definition 7.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RealTimeOrder {
+    pairs: BTreeSet<(OpId, OpId)>,
+    ops: BTreeSet<OpId>,
+}
+
+impl RealTimeOrder {
+    /// Builds `<_E` over the complete operations of `history`.
+    pub fn complete_order(history: &History) -> Self {
+        Self::build(history, OrderKind::CompleteOnly)
+    }
+
+    /// Builds `≺_E` over all (complete and pending) operations of `history`.
+    pub fn full_order(history: &History) -> Self {
+        Self::build(history, OrderKind::All)
+    }
+
+    fn build(history: &History, kind: OrderKind) -> Self {
+        let records = history.operations();
+        let mut pairs = BTreeSet::new();
+        let mut ops = BTreeSet::new();
+        for r in &records {
+            if kind == OrderKind::CompleteOnly && !r.is_complete() {
+                continue;
+            }
+            ops.insert(r.id);
+        }
+        for a in &records {
+            let Some(res_a) = a.response_index else { continue };
+            if kind == OrderKind::CompleteOnly && !a.is_complete() {
+                continue;
+            }
+            for b in &records {
+                if a.id == b.id {
+                    continue;
+                }
+                if kind == OrderKind::CompleteOnly && !b.is_complete() {
+                    continue;
+                }
+                if res_a < b.invocation_index {
+                    pairs.insert((a.id, b.id));
+                }
+            }
+        }
+        RealTimeOrder { pairs, ops }
+    }
+
+    /// Returns `true` when `a` is ordered before `b`.
+    pub fn before(&self, a: OpId, b: OpId) -> bool {
+        self.pairs.contains(&(a, b))
+    }
+
+    /// Returns `true` when the two operations are concurrent (unordered and distinct).
+    pub fn concurrent(&self, a: OpId, b: OpId) -> bool {
+        a != b && !self.before(a, b) && !self.before(b, a)
+    }
+
+    /// The ordered pairs of the relation.
+    pub fn pairs(&self) -> &BTreeSet<(OpId, OpId)> {
+        &self.pairs
+    }
+
+    /// The operations over which the relation is defined.
+    pub fn operations(&self) -> &BTreeSet<OpId> {
+        &self.ops
+    }
+
+    /// Returns `true` when every pair of `self` is also a pair of `other`
+    /// (i.e. `self ⊆ other` as relations).
+    pub fn subset_of(&self, other: &RealTimeOrder) -> bool {
+        self.pairs.is_subset(&other.pairs)
+    }
+
+    /// Returns `true` when the order is total over its operations.
+    pub fn is_total(&self) -> bool {
+        let ops: Vec<OpId> = self.ops.iter().copied().collect();
+        for (i, &a) in ops.iter().enumerate() {
+            for &b in &ops[i + 1..] {
+                if !self.before(a, b) && !self.before(b, a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use crate::op::{OpValue, Operation};
+    use crate::process::ProcessId;
+
+    /// p1: |--A--|      |--C--|
+    /// p2:      |-----B-----|
+    fn overlapping() -> (History, OpId, OpId, OpId) {
+        let p1 = ProcessId::new(0);
+        let p2 = ProcessId::new(1);
+        let mut b = HistoryBuilder::new();
+        let a = b.invoke(p1, Operation::new("Push", OpValue::Int(1)));
+        b.respond(a, OpValue::Bool(true));
+        let bb = b.invoke(p2, Operation::nullary("Pop"));
+        let c = b.invoke(p1, Operation::new("Push", OpValue::Int(2)));
+        b.respond(bb, OpValue::Int(1));
+        b.respond(c, OpValue::Bool(true));
+        (b.build(), a, bb, c)
+    }
+
+    #[test]
+    fn precedence_and_concurrency() {
+        let (h, a, b, c) = overlapping();
+        assert!(precedes_complete(&h, a, b));
+        assert!(precedes_complete(&h, a, c));
+        assert!(!precedes_complete(&h, b, c));
+        assert!(!precedes_complete(&h, c, b));
+        let order = RealTimeOrder::complete_order(&h);
+        assert!(order.before(a, b));
+        assert!(order.concurrent(b, c));
+        assert!(!order.is_total());
+    }
+
+    #[test]
+    fn pending_operations_related_only_by_full_order() {
+        let p1 = ProcessId::new(0);
+        let p2 = ProcessId::new(1);
+        let mut builder = HistoryBuilder::new();
+        let a = builder.invoke(p1, Operation::new("Push", OpValue::Int(1)));
+        builder.respond(a, OpValue::Bool(true));
+        let pending = builder.invoke(p2, Operation::nullary("Pop"));
+        let h = builder.build();
+
+        assert!(!precedes_complete(&h, a, pending));
+        assert!(precedes_all(&h, a, pending));
+
+        let complete = RealTimeOrder::complete_order(&h);
+        let full = RealTimeOrder::full_order(&h);
+        assert!(!complete.operations().contains(&pending));
+        assert!(full.operations().contains(&pending));
+        assert!(complete.subset_of(&full));
+    }
+
+    #[test]
+    fn sequential_history_is_total() {
+        let p = ProcessId::new(0);
+        let mut b = HistoryBuilder::new();
+        b.complete(p, Operation::new("Inc", OpValue::Unit), OpValue::Int(1));
+        b.complete(p, Operation::new("Inc", OpValue::Unit), OpValue::Int(2));
+        b.complete(p, Operation::nullary("Read"), OpValue::Int(2));
+        let order = RealTimeOrder::complete_order(&b.build());
+        assert!(order.is_total());
+    }
+
+    #[test]
+    fn unknown_operations_are_unrelated() {
+        let (h, a, _, _) = overlapping();
+        assert!(!precedes_complete(&h, a, OpId::new(999)));
+        assert!(!precedes_all(&h, OpId::new(999), a));
+    }
+}

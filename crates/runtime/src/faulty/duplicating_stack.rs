@@ -1,0 +1,89 @@
+//! A stack that occasionally pops without removing.
+
+use crate::object::ConcurrentObject;
+use linrv_history::{OpValue, Operation, ProcessId};
+use linrv_spec::ObjectKind;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A LIFO stack in which every `dup_every`-th `Pop` returns the top element *without
+/// removing it*, so a later `Pop` returns the same element again — a duplication bug
+/// producing non-linearizable histories.
+#[derive(Debug)]
+pub struct DuplicatingStack {
+    inner: Mutex<Vec<i64>>,
+    pop_count: AtomicU64,
+    dup_every: u64,
+}
+
+impl DuplicatingStack {
+    /// Creates a stack in which every `dup_every`-th pop duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dup_every` is zero.
+    pub fn new(dup_every: u64) -> Self {
+        assert!(dup_every > 0, "dup_every must be positive");
+        DuplicatingStack {
+            inner: Mutex::new(Vec::new()),
+            pop_count: AtomicU64::new(0),
+            dup_every,
+        }
+    }
+}
+
+impl ConcurrentObject for DuplicatingStack {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Stack
+    }
+
+    fn apply(&self, _process: ProcessId, op: &Operation) -> OpValue {
+        match op.kind.as_str() {
+            "Push" => match op.arg.as_int() {
+                Some(v) => {
+                    self.inner.lock().push(v);
+                    OpValue::Bool(true)
+                }
+                None => OpValue::Error,
+            },
+            "Pop" => {
+                let count = self.pop_count.fetch_add(1, Ordering::AcqRel) + 1;
+                let mut stack = self.inner.lock();
+                if count % self.dup_every == 0 {
+                    match stack.last() {
+                        Some(v) => OpValue::Int(*v),
+                        None => OpValue::Empty,
+                    }
+                } else {
+                    match stack.pop() {
+                        Some(v) => OpValue::Int(v),
+                        None => OpValue::Empty,
+                    }
+                }
+            }
+            _ => OpValue::Error,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("duplicating stack (every {}th pop duplicates)", self.dup_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_spec::ops::stack as ops;
+
+    #[test]
+    fn every_kth_pop_duplicates() {
+        let s = DuplicatingStack::new(2);
+        let p = ProcessId::new(0);
+        s.apply(p, &ops::push(1));
+        s.apply(p, &ops::push(2));
+        assert_eq!(s.apply(p, &ops::pop()), OpValue::Int(2)); // pop #1: normal
+        assert_eq!(s.apply(p, &ops::pop()), OpValue::Int(1)); // pop #2: duplicates 1
+        assert_eq!(s.apply(p, &ops::pop()), OpValue::Int(1)); // pop #3: normal, pops 1
+        assert_eq!(s.apply(p, &ops::pop()), OpValue::Empty); // pop #4: duplicates empty
+    }
+}

@@ -1,0 +1,91 @@
+//! A queue that silently drops some enqueued elements.
+
+use crate::object::ConcurrentObject;
+use linrv_history::{OpValue, Operation, ProcessId};
+use linrv_spec::ObjectKind;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A FIFO queue that acknowledges every `Enqueue` with `true` but silently discards
+/// every `drop_every`-th enqueued element. Dequeuers later observe `empty` (or the
+/// wrong element order) even though the lost element was provably enqueued — a
+/// linearizability violation the verifier must eventually report.
+#[derive(Debug)]
+pub struct LossyQueue {
+    inner: Mutex<VecDeque<i64>>,
+    enqueue_count: AtomicU64,
+    drop_every: u64,
+}
+
+impl LossyQueue {
+    /// Creates a queue that drops every `drop_every`-th enqueued element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_every` is zero.
+    pub fn new(drop_every: u64) -> Self {
+        assert!(drop_every > 0, "drop_every must be positive");
+        LossyQueue {
+            inner: Mutex::new(VecDeque::new()),
+            enqueue_count: AtomicU64::new(0),
+            drop_every,
+        }
+    }
+}
+
+impl ConcurrentObject for LossyQueue {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Queue
+    }
+
+    fn apply(&self, _process: ProcessId, op: &Operation) -> OpValue {
+        match op.kind.as_str() {
+            "Enqueue" => match op.arg.as_int() {
+                Some(v) => {
+                    let count = self.enqueue_count.fetch_add(1, Ordering::AcqRel) + 1;
+                    if count % self.drop_every != 0 {
+                        self.inner.lock().push_back(v);
+                    }
+                    OpValue::Bool(true)
+                }
+                None => OpValue::Error,
+            },
+            "Dequeue" => match self.inner.lock().pop_front() {
+                Some(v) => OpValue::Int(v),
+                None => OpValue::Empty,
+            },
+            _ => OpValue::Error,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("lossy queue (drops every {}th enqueue)", self.drop_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_spec::ops::queue as ops;
+
+    #[test]
+    fn drops_every_kth_element() {
+        let q = LossyQueue::new(3);
+        let p = ProcessId::new(0);
+        for v in 1..=6 {
+            assert_eq!(q.apply(p, &ops::enqueue(v)), OpValue::Bool(true));
+        }
+        let mut drained = Vec::new();
+        while let OpValue::Int(v) = q.apply(p, &ops::dequeue()) {
+            drained.push(v);
+        }
+        assert_eq!(drained, vec![1, 2, 4, 5], "elements 3 and 6 must be lost");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_is_rejected() {
+        let _ = LossyQueue::new(0);
+    }
+}

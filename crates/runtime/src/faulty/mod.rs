@@ -1,0 +1,19 @@
+//! Fault-injected and adversarial implementations.
+//!
+//! The completeness half of the paper's verification problem (Definition 6.1(2)) is
+//! only observable when the black box `A` actually misbehaves. The implementations in
+//! this module misbehave *deterministically* — every `k`-th operation of a given kind
+//! is corrupted — so tests and benches can rely on a violation appearing after a known
+//! number of operations.
+
+mod duplicating_stack;
+mod lossy_queue;
+mod stale_register;
+mod stuttering_counter;
+mod theorem51;
+
+pub use duplicating_stack::DuplicatingStack;
+pub use lossy_queue::LossyQueue;
+pub use stale_register::StaleRegister;
+pub use stuttering_counter::StutteringCounter;
+pub use theorem51::Theorem51Queue;

@@ -1,0 +1,83 @@
+//! A register whose reads are sometimes stale.
+
+use crate::object::ConcurrentObject;
+use linrv_history::{OpValue, Operation, ProcessId};
+use linrv_spec::ObjectKind;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// An integer register in which every `stale_every`-th `Read` returns the *previous*
+/// value instead of the current one — a new/old inversion when the overwrite strictly
+/// precedes the read.
+#[derive(Debug)]
+pub struct StaleRegister {
+    current: AtomicI64,
+    previous: AtomicI64,
+    read_count: AtomicU64,
+    stale_every: u64,
+}
+
+impl StaleRegister {
+    /// Creates a register whose every `stale_every`-th read is stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stale_every` is zero.
+    pub fn new(stale_every: u64) -> Self {
+        assert!(stale_every > 0, "stale_every must be positive");
+        StaleRegister {
+            current: AtomicI64::new(0),
+            previous: AtomicI64::new(0),
+            read_count: AtomicU64::new(0),
+            stale_every,
+        }
+    }
+}
+
+impl ConcurrentObject for StaleRegister {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Register
+    }
+
+    fn apply(&self, _process: ProcessId, op: &Operation) -> OpValue {
+        match op.kind.as_str() {
+            "Write" => match op.arg.as_int() {
+                Some(v) => {
+                    let old = self.current.swap(v, Ordering::AcqRel);
+                    self.previous.store(old, Ordering::Release);
+                    OpValue::Bool(true)
+                }
+                None => OpValue::Error,
+            },
+            "Read" => {
+                let count = self.read_count.fetch_add(1, Ordering::AcqRel) + 1;
+                if count % self.stale_every == 0 {
+                    OpValue::Int(self.previous.load(Ordering::Acquire))
+                } else {
+                    OpValue::Int(self.current.load(Ordering::Acquire))
+                }
+            }
+            _ => OpValue::Error,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("stale register (every {}th read is stale)", self.stale_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_spec::ops::register as ops;
+
+    #[test]
+    fn every_kth_read_is_stale() {
+        let r = StaleRegister::new(2);
+        let p = ProcessId::new(0);
+        r.apply(p, &ops::write(1));
+        r.apply(p, &ops::write(2));
+        assert_eq!(r.apply(p, &ops::read()), OpValue::Int(2)); // fresh
+        assert_eq!(r.apply(p, &ops::read()), OpValue::Int(1)); // stale
+        assert_eq!(r.apply(p, &ops::read()), OpValue::Int(2)); // fresh
+    }
+}

@@ -1,0 +1,74 @@
+//! A counter that loses some increments.
+
+use crate::object::ConcurrentObject;
+use linrv_history::{OpValue, Operation, ProcessId};
+use linrv_spec::ObjectKind;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A fetch-and-increment counter that *loses* every `lose_every`-th increment: the
+/// operation still responds with the pre-increment value, but the counter does not
+/// advance, so two `Inc` operations separated in real time can return the same value —
+/// a violation the verifier must catch.
+#[derive(Debug)]
+pub struct StutteringCounter {
+    value: AtomicI64,
+    inc_count: AtomicU64,
+    lose_every: u64,
+}
+
+impl StutteringCounter {
+    /// Creates a counter that loses every `lose_every`-th increment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lose_every` is zero.
+    pub fn new(lose_every: u64) -> Self {
+        assert!(lose_every > 0, "lose_every must be positive");
+        StutteringCounter {
+            value: AtomicI64::new(0),
+            inc_count: AtomicU64::new(0),
+            lose_every,
+        }
+    }
+}
+
+impl ConcurrentObject for StutteringCounter {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Counter
+    }
+
+    fn apply(&self, _process: ProcessId, op: &Operation) -> OpValue {
+        match op.kind.as_str() {
+            "Inc" => {
+                let count = self.inc_count.fetch_add(1, Ordering::AcqRel) + 1;
+                if count % self.lose_every == 0 {
+                    OpValue::Int(self.value.load(Ordering::Acquire))
+                } else {
+                    OpValue::Int(self.value.fetch_add(1, Ordering::AcqRel))
+                }
+            }
+            "Read" => OpValue::Int(self.value.load(Ordering::Acquire)),
+            _ => OpValue::Error,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("stuttering counter (loses every {}th increment)", self.lose_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_spec::ops::counter as ops;
+
+    #[test]
+    fn every_kth_increment_is_lost() {
+        let c = StutteringCounter::new(2);
+        let p = ProcessId::new(0);
+        assert_eq!(c.apply(p, &ops::inc()), OpValue::Int(0)); // effective
+        assert_eq!(c.apply(p, &ops::inc()), OpValue::Int(1)); // lost
+        assert_eq!(c.apply(p, &ops::inc()), OpValue::Int(1)); // effective — repeats 1
+        assert_eq!(c.apply(p, &ops::read()), OpValue::Int(2));
+    }
+}

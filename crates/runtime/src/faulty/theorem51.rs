@@ -1,0 +1,83 @@
+//! The adversarial queue implementation from the proof of Theorem 5.1.
+
+use crate::object::ConcurrentObject;
+use linrv_history::{OpValue, Operation, ProcessId};
+use linrv_spec::ObjectKind;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The non-linearizable queue used in the impossibility proof (Theorem 5.1):
+///
+/// * every `Enqueue` responds `true`;
+/// * every `Dequeue` responds `empty` — except the **first** operation of the
+///   distinguished process `p_2`, which responds `1` even though nothing was ever
+///   enqueued before it.
+///
+/// Whether the resulting history is linearizable depends solely on the real-time order
+/// of `p_2`'s first dequeue and the first `Enqueue(1)`: if the dequeue completes before
+/// the enqueue starts (execution `E` of the proof), the history is not linearizable; if
+/// they are re-ordered (execution `F`), it is. The two executions are indistinguishable
+/// inside any verifier — the heart of the impossibility argument, reproduced
+/// executably in `linrv-core::impossibility`.
+#[derive(Debug)]
+pub struct Theorem51Queue {
+    /// Index of the distinguished process (the paper's `p_2`).
+    special: ProcessId,
+    special_first_done: AtomicBool,
+}
+
+impl Theorem51Queue {
+    /// Creates the adversarial queue with `special` playing the role of `p_2`.
+    pub fn new(special: ProcessId) -> Self {
+        Theorem51Queue {
+            special,
+            special_first_done: AtomicBool::new(false),
+        }
+    }
+}
+
+impl ConcurrentObject for Theorem51Queue {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Queue
+    }
+
+    fn apply(&self, process: ProcessId, op: &Operation) -> OpValue {
+        match op.kind.as_str() {
+            "Enqueue" => OpValue::Bool(true),
+            "Dequeue" => {
+                if process == self.special
+                    && self
+                        .special_first_done
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    OpValue::Int(1)
+                } else {
+                    OpValue::Empty
+                }
+            }
+            _ => OpValue::Error,
+        }
+    }
+
+    fn name(&self) -> String {
+        "Theorem 5.1 adversarial queue".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_spec::ops::queue as ops;
+
+    #[test]
+    fn only_the_special_process_first_dequeue_returns_one() {
+        let p1 = ProcessId::new(0);
+        let p2 = ProcessId::new(1);
+        let q = Theorem51Queue::new(p2);
+        assert_eq!(q.apply(p1, &ops::enqueue(1)), OpValue::Bool(true));
+        assert_eq!(q.apply(p1, &ops::dequeue()), OpValue::Empty);
+        assert_eq!(q.apply(p2, &ops::dequeue()), OpValue::Int(1));
+        assert_eq!(q.apply(p2, &ops::dequeue()), OpValue::Empty);
+        assert_eq!(q.apply(p2, &Operation::nullary("Pop")), OpValue::Error);
+    }
+}

@@ -1,0 +1,65 @@
+//! Wait-free integer read/write register.
+
+use crate::object::ConcurrentObject;
+use linrv_history::{OpValue, Operation, ProcessId};
+use linrv_spec::ObjectKind;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A wait-free integer register backed by a hardware atomic word, initially `0`.
+///
+/// `Write(v)` responds `true`; `Read()` responds the last written value.
+#[derive(Debug, Default)]
+pub struct AtomicIntRegister {
+    value: AtomicI64,
+}
+
+impl AtomicIntRegister {
+    /// Creates a register initialised to zero.
+    pub fn new() -> Self {
+        AtomicIntRegister {
+            value: AtomicI64::new(0),
+        }
+    }
+}
+
+impl ConcurrentObject for AtomicIntRegister {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Register
+    }
+
+    fn apply(&self, _process: ProcessId, op: &Operation) -> OpValue {
+        match op.kind.as_str() {
+            "Write" => match op.arg.as_int() {
+                Some(v) => {
+                    self.value.store(v, Ordering::Release);
+                    OpValue::Bool(true)
+                }
+                None => OpValue::Error,
+            },
+            "Read" => OpValue::Int(self.value.load(Ordering::Acquire)),
+            _ => OpValue::Error,
+        }
+    }
+
+    fn name(&self) -> String {
+        "atomic register (wait-free)".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_spec::ops::register as ops;
+
+    #[test]
+    fn read_returns_last_write() {
+        let r = AtomicIntRegister::new();
+        let p = ProcessId::new(0);
+        assert_eq!(r.apply(p, &ops::read()), OpValue::Int(0));
+        assert_eq!(r.apply(p, &ops::write(9)), OpValue::Bool(true));
+        assert_eq!(r.apply(p, &ops::read()), OpValue::Int(9));
+        assert_eq!(r.apply(p, &Operation::nullary("Write")), OpValue::Error);
+        assert_eq!(r.apply(p, &Operation::nullary("Inc")), OpValue::Error);
+        assert_eq!(r.kind(), ObjectKind::Register);
+    }
+}

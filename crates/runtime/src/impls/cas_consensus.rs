@@ -1,0 +1,101 @@
+//! Consensus from compare-and-swap.
+
+use crate::object::ConcurrentObject;
+use linrv_history::{OpValue, Operation, ProcessId};
+use linrv_spec::ObjectKind;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Wait-free consensus built on a single compare-and-swap word (consensus number ∞,
+/// Section 2 of the paper): the first `Decide(v)` installs `v`; every `Decide`
+/// responds with the installed value.
+///
+/// The sentinel [`CasConsensus::UNDECIDED`] (`i64::MIN`) must not be proposed.
+#[derive(Debug)]
+pub struct CasConsensus {
+    decision: AtomicI64,
+}
+
+impl CasConsensus {
+    /// Sentinel stored before any decision is made. Proposals must differ from it.
+    pub const UNDECIDED: i64 = i64::MIN;
+
+    /// Creates an undecided consensus object.
+    pub fn new() -> Self {
+        CasConsensus {
+            decision: AtomicI64::new(Self::UNDECIDED),
+        }
+    }
+}
+
+impl Default for CasConsensus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentObject for CasConsensus {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Consensus
+    }
+
+    fn apply(&self, _process: ProcessId, op: &Operation) -> OpValue {
+        match op.kind.as_str() {
+            "Decide" => match op.arg.as_int() {
+                Some(v) if v != Self::UNDECIDED => {
+                    match self.decision.compare_exchange(
+                        Self::UNDECIDED,
+                        v,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => OpValue::Int(v),
+                        Err(winner) => OpValue::Int(winner),
+                    }
+                }
+                _ => OpValue::Error,
+            },
+            _ => OpValue::Error,
+        }
+    }
+
+    fn name(&self) -> String {
+        "CAS consensus (wait-free)".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_spec::ops::consensus as ops;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn first_decide_wins() {
+        let c = CasConsensus::new();
+        let p = ProcessId::new(0);
+        assert_eq!(c.apply(p, &ops::decide(4)), OpValue::Int(4));
+        assert_eq!(c.apply(ProcessId::new(1), &ops::decide(9)), OpValue::Int(4));
+        assert_eq!(c.apply(p, &Operation::nullary("Decide")), OpValue::Error);
+        assert_eq!(c.apply(p, &Operation::nullary("Read")), OpValue::Error);
+    }
+
+    #[test]
+    fn concurrent_deciders_agree_on_a_proposed_value() {
+        let c = Arc::new(CasConsensus::new());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || {
+                c.apply(ProcessId::new(t), &ops::decide(i64::from(t) + 1))
+                    .as_int()
+                    .unwrap()
+            }));
+        }
+        let decisions: BTreeSet<i64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(decisions.len(), 1, "processes disagreed");
+        let d = *decisions.iter().next().unwrap();
+        assert!((1..=4).contains(&d), "decided value was never proposed");
+    }
+}

@@ -1,0 +1,15 @@
+//! Correct concurrent implementations used as the black box `A`.
+
+mod atomic_counter;
+mod atomic_register;
+mod cas_consensus;
+mod ms_queue;
+mod spec_object;
+mod treiber_stack;
+
+pub use atomic_counter::AtomicCounter;
+pub use atomic_register::AtomicIntRegister;
+pub use cas_consensus::CasConsensus;
+pub use ms_queue::MsQueue;
+pub use spec_object::SpecObject;
+pub use treiber_stack::TreiberStack;

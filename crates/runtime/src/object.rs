@@ -1,0 +1,84 @@
+//! The [`ConcurrentObject`] trait: the paper's black-box implementation `A`.
+
+use linrv_history::{OpValue, Operation, ProcessId};
+use linrv_spec::ObjectKind;
+
+/// A concurrent implementation of an object, exporting the paper's single high-level
+/// entry point `Apply(op)` (Section 2).
+///
+/// Implementations must be safe to call concurrently from many threads: process `p_i`
+/// calls `apply(p_i, op)` and blocks until the operation's response is available. The
+/// trait deliberately exposes nothing else — the verifier of the paper treats `A` as a
+/// black box, learning about the execution only through invocations and responses.
+pub trait ConcurrentObject: Send + Sync {
+    /// Which sequential object this implementation claims to implement (used to pick
+    /// the specification it is checked against).
+    fn kind(&self) -> ObjectKind;
+
+    /// Applies `op` on behalf of process `process` and returns its response.
+    fn apply(&self, process: ProcessId, op: &Operation) -> OpValue;
+
+    /// Short human-readable name of the implementation (for reports and benches).
+    fn name(&self) -> String {
+        format!("{} implementation", self.kind())
+    }
+}
+
+impl<T: ConcurrentObject + ?Sized> ConcurrentObject for std::sync::Arc<T> {
+    fn kind(&self) -> ObjectKind {
+        (**self).kind()
+    }
+
+    fn apply(&self, process: ProcessId, op: &Operation) -> OpValue {
+        (**self).apply(process, op)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<T: ConcurrentObject + ?Sized> ConcurrentObject for Box<T> {
+    fn kind(&self) -> ObjectKind {
+        (**self).kind()
+    }
+
+    fn apply(&self, process: ProcessId, op: &Operation) -> OpValue {
+        (**self).apply(process, op)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<T: ConcurrentObject + ?Sized> ConcurrentObject for &T {
+    fn kind(&self) -> ObjectKind {
+        (**self).kind()
+    }
+
+    fn apply(&self, process: ProcessId, op: &Operation) -> OpValue {
+        (**self).apply(process, op)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impls::SpecObject;
+    use linrv_spec::QueueSpec;
+    use std::sync::Arc;
+
+    #[test]
+    fn trait_objects_compose_through_arc_and_ref() {
+        let object: Arc<dyn ConcurrentObject> = Arc::new(SpecObject::new(QueueSpec::new()));
+        assert_eq!(object.kind(), ObjectKind::Queue);
+        let by_ref: &dyn ConcurrentObject = &object;
+        assert_eq!(by_ref.kind(), ObjectKind::Queue);
+        assert!(object.name().contains("queue"));
+    }
+}

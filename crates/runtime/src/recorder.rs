@@ -1,0 +1,204 @@
+//! Ground-truth execution recorder.
+//!
+//! The recorder drives `n` threads of operations against a [`ConcurrentObject`] and
+//! logs every invocation and response into a single totally ordered history. No process
+//! *inside* an asynchronous system could build this log — that is precisely the
+//! impossibility of Theorem 5.1 — so the recorder serialises its log appends through a
+//! mutex and exists purely as experimental scaffolding (testing soundness of the
+//! verifier against correct objects, measuring detection latency against faulty ones).
+//!
+//! Because an operation's invocation is logged slightly *before* `apply` is entered and
+//! its response slightly *after* `apply` returns, the recorded intervals are stretched
+//! relative to the true execution, exactly like the paper's detected history `E'`
+//! (Figure 5). Stretching only removes real-time constraints, so a linearizable object
+//! always yields a linearizable recorded history (the property soundness tests rely
+//! on).
+
+use crate::object::ConcurrentObject;
+use crate::workload::Workload;
+use linrv_history::{Event, History, OpId, OpValue, Operation, ProcessId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Options controlling a recorded run.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderOptions {
+    /// Number of processes (threads).
+    pub processes: usize,
+    /// Operations each process performs.
+    pub ops_per_process: usize,
+}
+
+impl Default for RecorderOptions {
+    fn default() -> Self {
+        RecorderOptions {
+            processes: 3,
+            ops_per_process: 50,
+        }
+    }
+}
+
+/// Result of a recorded run.
+#[derive(Debug, Clone)]
+pub struct RecordedExecution {
+    /// The recorded (stretched) real-time history.
+    pub history: History,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Total number of operations performed.
+    pub operations: usize,
+}
+
+/// Shared event log with globally ordered appends.
+struct EventLog {
+    events: Mutex<Vec<Event>>,
+    next_op: AtomicU64,
+}
+
+impl EventLog {
+    fn new() -> Self {
+        EventLog {
+            events: Mutex::new(Vec::new()),
+            next_op: AtomicU64::new(0),
+        }
+    }
+
+    fn fresh_op(&self) -> OpId {
+        OpId::new(self.next_op.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn log_invocation(&self, process: ProcessId, id: OpId, op: &Operation) {
+        self.events
+            .lock()
+            .push(Event::invocation(process, id, op.clone()));
+    }
+
+    fn log_response(&self, process: ProcessId, id: OpId, value: &OpValue) {
+        self.events
+            .lock()
+            .push(Event::response(process, id, value.clone()));
+    }
+}
+
+/// Runs `workload` against `object` with the given options and returns the recorded
+/// history.
+pub fn record_execution(
+    object: &(impl ConcurrentObject + ?Sized),
+    workload: Workload,
+    options: RecorderOptions,
+) -> RecordedExecution {
+    let log = EventLog::new();
+    let started = Instant::now();
+    let operations = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for proc_index in 0..options.processes {
+            let log = &log;
+            let object = &object;
+            handles.push(scope.spawn(move || {
+                let process = ProcessId::new(proc_index as u32);
+                let ops = workload.operations_for(proc_index, options.ops_per_process);
+                for op in &ops {
+                    let id = log.fresh_op();
+                    log.log_invocation(process, id, op);
+                    let response = object.apply(process, op);
+                    log.log_response(process, id, &response);
+                }
+                ops.len()
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    });
+    let duration = started.elapsed();
+    let history = History::from_events(log.events.into_inner());
+    RecordedExecution {
+        history,
+        duration,
+        operations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faulty::LossyQueue;
+    use crate::impls::{AtomicCounter, MsQueue, SpecObject, TreiberStack};
+    use crate::workload::WorkloadKind;
+    use linrv_check::{GenLinObject, LinSpec};
+    use linrv_spec::{CounterSpec, QueueSpec, StackSpec};
+
+    #[test]
+    fn recorded_histories_are_well_formed() {
+        let queue = MsQueue::new();
+        let run = record_execution(
+            &queue,
+            Workload::new(WorkloadKind::Queue, 3),
+            RecorderOptions {
+                processes: 3,
+                ops_per_process: 20,
+            },
+        );
+        assert!(run.history.is_well_formed());
+        assert_eq!(run.operations, 60);
+        assert_eq!(run.history.len(), 120);
+        assert_eq!(run.history.pending_operations().count(), 0);
+    }
+
+    #[test]
+    fn correct_queue_produces_linearizable_recorded_history() {
+        let queue = SpecObject::new(QueueSpec::new());
+        let run = record_execution(
+            &queue,
+            Workload::new(WorkloadKind::Queue, 11),
+            RecorderOptions {
+                processes: 2,
+                ops_per_process: 15,
+            },
+        );
+        assert!(LinSpec::new(QueueSpec::new()).contains(&run.history));
+    }
+
+    #[test]
+    fn correct_stack_produces_linearizable_recorded_history() {
+        let stack = TreiberStack::new();
+        let run = record_execution(
+            &stack,
+            Workload::new(WorkloadKind::Stack, 5),
+            RecorderOptions {
+                processes: 2,
+                ops_per_process: 15,
+            },
+        );
+        assert!(LinSpec::new(StackSpec::new()).contains(&run.history));
+    }
+
+    #[test]
+    fn correct_counter_produces_linearizable_recorded_history() {
+        let counter = AtomicCounter::new();
+        let run = record_execution(
+            &counter,
+            Workload::new(WorkloadKind::Counter, 5),
+            RecorderOptions {
+                processes: 2,
+                ops_per_process: 12,
+            },
+        );
+        assert!(LinSpec::new(CounterSpec::new()).contains(&run.history));
+    }
+
+    #[test]
+    fn lossy_queue_eventually_produces_a_non_linearizable_history() {
+        // Single-process run: the recorded history is exactly the real one, and losing
+        // an enqueued element while later observing `empty` is a violation.
+        let queue = LossyQueue::new(2);
+        let run = record_execution(
+            &queue,
+            Workload::new(WorkloadKind::Queue, 9),
+            RecorderOptions {
+                processes: 1,
+                ops_per_process: 30,
+            },
+        );
+        assert!(!LinSpec::new(QueueSpec::new()).contains(&run.history));
+    }
+}

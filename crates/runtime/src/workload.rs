@@ -1,0 +1,170 @@
+//! Seeded random workloads per object kind.
+
+use linrv_history::Operation;
+use linrv_spec::ops;
+use linrv_spec::ObjectKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which operation mix to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Enqueue/Dequeue mix (50/50).
+    Queue,
+    /// Push/Pop mix (50/50).
+    Stack,
+    /// Add/Remove/Contains mix (40/30/30) over a small key range.
+    Set,
+    /// Insert/ExtractMin mix (50/50).
+    PriorityQueue,
+    /// Inc/Read mix (70/30).
+    Counter,
+    /// Write/Read mix (50/50).
+    Register,
+    /// A single Decide per process.
+    Consensus,
+}
+
+impl WorkloadKind {
+    /// The sequential object this workload targets.
+    pub fn object_kind(self) -> ObjectKind {
+        match self {
+            WorkloadKind::Queue => ObjectKind::Queue,
+            WorkloadKind::Stack => ObjectKind::Stack,
+            WorkloadKind::Set => ObjectKind::Set,
+            WorkloadKind::PriorityQueue => ObjectKind::PriorityQueue,
+            WorkloadKind::Counter => ObjectKind::Counter,
+            WorkloadKind::Register => ObjectKind::Register,
+            WorkloadKind::Consensus => ObjectKind::Consensus,
+        }
+    }
+}
+
+/// A reproducible per-process operation sequence generator.
+///
+/// The same `(kind, seed, process, len)` always yields the same operations, so
+/// experiments are repeatable. Inserted values are globally unique across processes
+/// (encoding the process index in the value), which keeps checker instances small and
+/// mirrors the paper's assumption that all `Apply` inputs are distinct.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Operation mix.
+    pub kind: WorkloadKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Creates a workload description.
+    pub fn new(kind: WorkloadKind, seed: u64) -> Self {
+        Workload { kind, seed }
+    }
+
+    /// Generates the operation sequence for one process.
+    pub fn operations_for(&self, process: usize, len: usize) -> Vec<Operation> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (process as u64).wrapping_mul(0x9E37_79B9));
+        let mut next_value: i64 = (process as i64) * 1_000_000 + 1;
+        let mut fresh = || {
+            let v = next_value;
+            next_value += 1;
+            v
+        };
+        match self.kind {
+            WorkloadKind::Queue => (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        ops::queue::enqueue(fresh())
+                    } else {
+                        ops::queue::dequeue()
+                    }
+                })
+                .collect(),
+            WorkloadKind::Stack => (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        ops::stack::push(fresh())
+                    } else {
+                        ops::stack::pop()
+                    }
+                })
+                .collect(),
+            WorkloadKind::Set => (0..len)
+                .map(|_| {
+                    let key = rng.gen_range(0..8);
+                    match rng.gen_range(0..10) {
+                        0..=3 => ops::set::add(key),
+                        4..=6 => ops::set::remove(key),
+                        _ => ops::set::contains(key),
+                    }
+                })
+                .collect(),
+            WorkloadKind::PriorityQueue => (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        ops::priority_queue::insert(fresh())
+                    } else {
+                        ops::priority_queue::extract_min()
+                    }
+                })
+                .collect(),
+            WorkloadKind::Counter => (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.7) {
+                        ops::counter::inc()
+                    } else {
+                        ops::counter::read()
+                    }
+                })
+                .collect(),
+            WorkloadKind::Register => (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        ops::register::write(fresh())
+                    } else {
+                        ops::register::read()
+                    }
+                })
+                .collect(),
+            WorkloadKind::Consensus => vec![ops::consensus::decide(process as i64 + 1); len.min(1)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_reproducible() {
+        let w = Workload::new(WorkloadKind::Queue, 42);
+        assert_eq!(w.operations_for(0, 20), w.operations_for(0, 20));
+        assert_ne!(w.operations_for(0, 20), w.operations_for(1, 20));
+    }
+
+    #[test]
+    fn inserted_values_are_unique_across_processes() {
+        let w = Workload::new(WorkloadKind::Stack, 7);
+        let a = w.operations_for(0, 50);
+        let b = w.operations_for(1, 50);
+        let values = |ops: &[Operation]| -> Vec<i64> {
+            ops.iter().filter_map(|o| o.arg.as_int()).collect()
+        };
+        for v in values(&a) {
+            assert!(!values(&b).contains(&v));
+        }
+    }
+
+    #[test]
+    fn consensus_workload_is_one_shot() {
+        let w = Workload::new(WorkloadKind::Consensus, 1);
+        assert_eq!(w.operations_for(0, 10).len(), 1);
+        assert_eq!(w.operations_for(3, 10)[0], ops::consensus::decide(4));
+    }
+
+    #[test]
+    fn kinds_map_to_object_kinds() {
+        assert_eq!(WorkloadKind::Queue.object_kind(), ObjectKind::Queue);
+        assert_eq!(WorkloadKind::Set.object_kind(), ObjectKind::Set);
+        assert_eq!(WorkloadKind::Consensus.object_kind(), ObjectKind::Consensus);
+    }
+}

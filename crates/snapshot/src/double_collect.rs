@@ -1,0 +1,96 @@
+//! Double-collect snapshot without helping (lock-free, not wait-free).
+
+use crate::register::AtomicRegister;
+use crate::traits::Snapshot;
+use std::sync::Arc;
+
+/// One labelled register entry: the value plus a sequence number that changes with
+/// every write, so scans can detect interference.
+#[derive(Debug, Clone)]
+struct Labelled<T> {
+    seq: u64,
+    value: T,
+}
+
+/// A linearizable snapshot based on repeated *double collects*: a scan reads all
+/// entries twice and returns when the two collects are identical (no writer interfered
+/// in between, so the collect is an atomic picture).
+///
+/// Scans are only obstruction-free: a continuously interfering writer can starve a
+/// scanner forever. The [`AfekSnapshot`](crate::AfekSnapshot) adds helping to make
+/// scans wait-free; this type exists as the ablation baseline (experiment E15) and to
+/// illustrate why helping matters.
+#[derive(Debug)]
+pub struct DoubleCollectSnapshot<T> {
+    registers: Vec<AtomicRegister<Labelled<T>>>,
+}
+
+impl<T: Clone> DoubleCollectSnapshot<T> {
+    /// Creates a snapshot with `n` entries, all holding `initial`.
+    pub fn new(n: usize, initial: T) -> Self {
+        DoubleCollectSnapshot {
+            registers: (0..n)
+                .map(|_| {
+                    AtomicRegister::new(Labelled {
+                        seq: 0,
+                        value: initial.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn collect(&self) -> Vec<Arc<Labelled<T>>> {
+        self.registers.iter().map(AtomicRegister::read).collect()
+    }
+}
+
+impl<T: Clone + Send + Sync> Snapshot<T> for DoubleCollectSnapshot<T> {
+    fn entries(&self) -> usize {
+        self.registers.len()
+    }
+
+    fn write(&self, writer: usize, value: T) {
+        let current = self.registers[writer].read();
+        self.registers[writer].write(Labelled {
+            seq: current.seq + 1,
+            value,
+        });
+    }
+
+    fn scan(&self, _scanner: usize) -> Vec<T> {
+        loop {
+            let first = self.collect();
+            let second = self.collect();
+            let clean = first
+                .iter()
+                .zip(&second)
+                .all(|(a, b)| a.seq == b.seq);
+            if clean {
+                return second.iter().map(|e| e.value.clone()).collect();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_write_scan() {
+        let s = DoubleCollectSnapshot::new(3, 0u32);
+        s.write(0, 1);
+        s.write(2, 9);
+        assert_eq!(s.scan(1), vec![1, 0, 9]);
+    }
+
+    #[test]
+    fn repeated_writes_update_sequence_numbers() {
+        let s = DoubleCollectSnapshot::new(1, 0u32);
+        for v in 1..=10 {
+            s.write(0, v);
+        }
+        assert_eq!(s.scan(0), vec![10]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Mutex-based snapshot: the differential-testing oracle.
+
+use crate::traits::Snapshot;
+use parking_lot::Mutex;
+
+/// A snapshot object protected by a single mutex.
+///
+/// Trivially linearizable (every operation is a critical section) but *blocking*: a
+/// process holding the lock can delay every other process indefinitely, which is
+/// exactly the progress degradation the paper's introduction warns a verifier must not
+/// introduce. It is included as a correctness oracle for the wait-free implementations
+/// and as the "lock-based monitor" baseline in the benchmarks.
+#[derive(Debug)]
+pub struct LockedSnapshot<T> {
+    entries: Mutex<Vec<T>>,
+}
+
+impl<T: Clone> LockedSnapshot<T> {
+    /// Creates a snapshot with `n` entries, all holding `initial`.
+    pub fn new(n: usize, initial: T) -> Self {
+        LockedSnapshot {
+            entries: Mutex::new(vec![initial; n]),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> Snapshot<T> for LockedSnapshot<T> {
+    fn entries(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    fn write(&self, writer: usize, value: T) {
+        self.entries.lock()[writer] = value;
+    }
+
+    fn scan(&self, _scanner: usize) -> Vec<T> {
+        self.entries.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_scan() {
+        let s = LockedSnapshot::new(3, 0u32);
+        s.write(1, 7);
+        assert_eq!(s.scan(0), vec![0, 7, 0]);
+        assert_eq!(s.entries(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_writer_panics() {
+        let s = LockedSnapshot::new(2, 0u32);
+        s.write(5, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! The snapshot object interface (Definition 7.3).
+
+/// A linearizable snapshot object over values of type `T` (Definition 7.3 of the
+/// paper): an `n`-entry shared array supporting `Write` into the caller's entry and an
+/// atomic `Snapshot` of all entries.
+///
+/// Entries are addressed by the caller's process index (`0..n`), matching the paper's
+/// convention that process `p_i` owns entry `i`. Each entry has a single writer; any
+/// process may scan.
+///
+/// Implementations must be linearizable: every scan returns an array that actually was
+/// (or could atomically have been) the simultaneous content of all entries at some
+/// point between the scan's invocation and response.
+pub trait Snapshot<T: Clone>: Send + Sync {
+    /// Number of entries (one per process).
+    fn entries(&self) -> usize;
+
+    /// Writes `value` into the entry owned by process `writer`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `writer >= self.entries()`.
+    fn write(&self, writer: usize, value: T);
+
+    /// Returns an atomic copy of all entries. `scanner` identifies the calling process
+    /// (used by helping-based implementations).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `scanner >= self.entries()`.
+    fn scan(&self, scanner: usize) -> Vec<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LockedSnapshot;
+
+    // The trait must be object safe: the DRV transform stores `Arc<dyn Snapshot<_>>`.
+    #[test]
+    fn snapshot_is_object_safe() {
+        let snapshot: Box<dyn Snapshot<u32>> = Box::new(LockedSnapshot::new(2, 0));
+        snapshot.write(0, 7);
+        assert_eq!(snapshot.scan(1), vec![7, 0]);
+        assert_eq!(snapshot.entries(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! The consensus problem modelled as a sequential object.
+
+use crate::traits::{ObjectKind, SequentialSpec, SpecError};
+use linrv_history::{OpValue, Operation};
+
+/// Consensus modelled as a sequential object, as in the proof of Theorem 5.1:
+/// the object exports a single `Decide(v)` operation that "can be invoked several
+/// times, and the first operation among all processes sets its input as the decision".
+/// Every `Decide`, including the first, responds with the decided value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsensusSpec;
+
+impl ConsensusSpec {
+    /// Creates the consensus specification.
+    pub fn new() -> Self {
+        ConsensusSpec
+    }
+}
+
+impl SequentialSpec for ConsensusSpec {
+    /// `None` until the first `Decide` fixes the decision value.
+    type State = Option<i64>;
+
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Consensus
+    }
+
+    fn initial_state(&self) -> Self::State {
+        None
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        operation: &Operation,
+    ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
+        match operation.kind.as_str() {
+            "Decide" => {
+                let proposal = operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
+                    operation: operation.kind.clone(),
+                    reason: "expected an integer proposal".into(),
+                })?;
+                match state {
+                    None => Ok(vec![(Some(proposal), OpValue::Int(proposal))]),
+                    Some(decided) => Ok(vec![(Some(*decided), OpValue::Int(*decided))]),
+                }
+            }
+            other => Err(SpecError::UnknownOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::consensus as ops;
+
+    #[test]
+    fn first_proposal_wins_and_sticks() {
+        let spec = ConsensusSpec::new();
+        let s0 = spec.initial_state();
+        let (s1, r1) = spec.step_deterministic(&s0, &ops::decide(7)).unwrap();
+        let (_, r2) = spec.step_deterministic(&s1, &ops::decide(9)).unwrap();
+        assert_eq!(r1, OpValue::Int(7));
+        assert_eq!(r2, OpValue::Int(7));
+    }
+
+    #[test]
+    fn validity_a_solo_run_decides_its_own_input() {
+        // Section 10: "for consensus it is impossible to detect [from (input, output)
+        // pairs alone] when a process ran solo and decided a value distinct from its
+        // input". The sequential spec itself enforces validity.
+        let spec = ConsensusSpec::new();
+        let s0 = spec.initial_state();
+        assert!(spec.accepts(&s0, &ops::decide(3), &OpValue::Int(5)).is_none());
+        assert!(spec.accepts(&s0, &ops::decide(3), &OpValue::Int(3)).is_some());
+    }
+
+    #[test]
+    fn unknown_operation_is_rejected() {
+        let spec = ConsensusSpec::new();
+        assert!(spec.step(&None, &Operation::nullary("Read")).is_err());
+    }
+}

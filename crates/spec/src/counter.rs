@@ -1,0 +1,66 @@
+//! Sequential counter specification.
+
+use crate::traits::{ObjectKind, SequentialSpec, SpecError};
+use linrv_history::{OpValue, Operation};
+
+/// Sequential specification of a fetch-and-increment counter.
+///
+/// * `Inc()` increments the counter and responds with its value *before* the increment.
+/// * `Read()` responds with the current value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSpec;
+
+impl CounterSpec {
+    /// Creates the counter specification.
+    pub fn new() -> Self {
+        CounterSpec
+    }
+}
+
+impl SequentialSpec for CounterSpec {
+    type State = i64;
+
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Counter
+    }
+
+    fn initial_state(&self) -> Self::State {
+        0
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        operation: &Operation,
+    ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
+        match operation.kind.as_str() {
+            "Inc" => Ok(vec![(state + 1, OpValue::Int(*state))]),
+            "Read" => Ok(vec![(*state, OpValue::Int(*state))]),
+            other => Err(SpecError::UnknownOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::counter as ops;
+
+    #[test]
+    fn fetch_and_increment_semantics() {
+        let spec = CounterSpec::new();
+        let s0 = spec.initial_state();
+        let (s1, r0) = spec.step_deterministic(&s0, &ops::inc()).unwrap();
+        let (s2, r1) = spec.step_deterministic(&s1, &ops::inc()).unwrap();
+        let (_, read) = spec.step_deterministic(&s2, &ops::read()).unwrap();
+        assert_eq!(r0, OpValue::Int(0));
+        assert_eq!(r1, OpValue::Int(1));
+        assert_eq!(read, OpValue::Int(2));
+    }
+
+    #[test]
+    fn unknown_operation_is_rejected() {
+        let spec = CounterSpec::new();
+        assert!(spec.step(&0, &Operation::nullary("Pop")).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! # linrv-spec
+//!
+//! Sequential specifications of the concurrent objects studied in Castañeda &
+//! Rodríguez (PODC 2023): queues, stacks, sets, priority queues, counters, registers
+//! and the consensus problem modelled as a sequential object (Theorem 5.1 lists these
+//! as the objects for which runtime verification of linearizability is impossible).
+//!
+//! A sequential specification is a state machine with a transition function
+//! `δ(state, operation) → (state', response)` (Definition 4.1). The
+//! [`SequentialSpec`] trait captures deterministic and non-deterministic machines
+//! uniformly by letting `δ` return the *set* of allowed `(state, response)` successors.
+//!
+//! The specifications in this crate are consumed by `linrv-check` (membership /
+//! linearizability decision procedures) and by `linrv-core` (the local `P_O` test in
+//! the predictive verifier and the self-enforced implementations).
+//!
+//! ```
+//! use linrv_spec::{QueueSpec, SequentialSpec};
+//! use linrv_history::{Operation, OpValue};
+//!
+//! let spec = QueueSpec::new();
+//! let q0 = spec.initial_state();
+//! let (q1, resp) = spec
+//!     .step_deterministic(&q0, &Operation::new("Enqueue", OpValue::Int(5)))
+//!     .expect("enqueue always enabled");
+//! assert_eq!(resp, OpValue::Bool(true));
+//! let (_, resp) = spec
+//!     .step_deterministic(&q1, &Operation::nullary("Dequeue"))
+//!     .expect("dequeue enabled");
+//! assert_eq!(resp, OpValue::Int(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consensus;
+pub mod counter;
+pub mod ops;
+pub mod priority_queue;
+pub mod queue;
+pub mod register;
+pub mod set;
+pub mod stack;
+pub mod traits;
+
+pub use consensus::ConsensusSpec;
+pub use counter::CounterSpec;
+pub use priority_queue::PriorityQueueSpec;
+pub use queue::QueueSpec;
+pub use register::RegisterSpec;
+pub use set::SetSpec;
+pub use stack::StackSpec;
+pub use traits::{ObjectKind, SequentialSpec, SpecError};

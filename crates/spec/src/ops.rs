@@ -1,0 +1,136 @@
+//! Typed constructors for the operations of each object.
+//!
+//! These helpers keep operation names consistent between specifications, concurrent
+//! implementations and workload generators (e.g. `"Enqueue"` vs `"enqueue"`).
+
+use linrv_history::{OpValue, Operation};
+
+/// Queue operations.
+pub mod queue {
+    use super::*;
+
+    /// `Enqueue(v)` — always acknowledged with `true`.
+    pub fn enqueue(v: i64) -> Operation {
+        Operation::new("Enqueue", OpValue::Int(v))
+    }
+
+    /// `Dequeue()` — returns the oldest element or `empty`.
+    pub fn dequeue() -> Operation {
+        Operation::nullary("Dequeue")
+    }
+}
+
+/// Stack operations.
+pub mod stack {
+    use super::*;
+
+    /// `Push(v)` — always acknowledged with `true`.
+    pub fn push(v: i64) -> Operation {
+        Operation::new("Push", OpValue::Int(v))
+    }
+
+    /// `Pop()` — returns the newest element or `empty`.
+    pub fn pop() -> Operation {
+        Operation::nullary("Pop")
+    }
+}
+
+/// Set operations.
+pub mod set {
+    use super::*;
+
+    /// `Add(v)` — returns `true` when `v` was not present.
+    pub fn add(v: i64) -> Operation {
+        Operation::new("Add", OpValue::Int(v))
+    }
+
+    /// `Remove(v)` — returns `true` when `v` was present.
+    pub fn remove(v: i64) -> Operation {
+        Operation::new("Remove", OpValue::Int(v))
+    }
+
+    /// `Contains(v)` — returns whether `v` is present.
+    pub fn contains(v: i64) -> Operation {
+        Operation::new("Contains", OpValue::Int(v))
+    }
+}
+
+/// Priority-queue operations.
+pub mod priority_queue {
+    use super::*;
+
+    /// `Insert(v)` — always acknowledged with `true`.
+    pub fn insert(v: i64) -> Operation {
+        Operation::new("Insert", OpValue::Int(v))
+    }
+
+    /// `ExtractMin()` — returns the minimum element or `empty`.
+    pub fn extract_min() -> Operation {
+        Operation::nullary("ExtractMin")
+    }
+}
+
+/// Counter operations.
+pub mod counter {
+    use super::*;
+
+    /// `Inc()` — returns the value of the counter *before* the increment
+    /// (fetch-and-increment).
+    pub fn inc() -> Operation {
+        Operation::nullary("Inc")
+    }
+
+    /// `Read()` — returns the current value.
+    pub fn read() -> Operation {
+        Operation::nullary("Read")
+    }
+}
+
+/// Register operations.
+pub mod register {
+    use super::*;
+
+    /// `Write(v)` — acknowledged with `true`.
+    pub fn write(v: i64) -> Operation {
+        Operation::new("Write", OpValue::Int(v))
+    }
+
+    /// `Read()` — returns the last written value (initially `0`).
+    pub fn read() -> Operation {
+        Operation::nullary("Read")
+    }
+}
+
+/// Consensus operations.
+pub mod consensus {
+    use super::*;
+
+    /// `Decide(v)` — every invocation returns the value proposed by the first
+    /// `Decide` in the execution (the object "locks in" the first proposal).
+    pub fn decide(v: i64) -> Operation {
+        Operation::new("Decide", OpValue::Int(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_expected_names() {
+        assert_eq!(queue::enqueue(1).kind, "Enqueue");
+        assert_eq!(queue::dequeue().kind, "Dequeue");
+        assert_eq!(stack::push(1).kind, "Push");
+        assert_eq!(stack::pop().kind, "Pop");
+        assert_eq!(set::add(1).kind, "Add");
+        assert_eq!(set::remove(1).kind, "Remove");
+        assert_eq!(set::contains(1).kind, "Contains");
+        assert_eq!(priority_queue::insert(1).kind, "Insert");
+        assert_eq!(priority_queue::extract_min().kind, "ExtractMin");
+        assert_eq!(counter::inc().kind, "Inc");
+        assert_eq!(counter::read().kind, "Read");
+        assert_eq!(register::write(1).kind, "Write");
+        assert_eq!(register::read().kind, "Read");
+        assert_eq!(consensus::decide(1).kind, "Decide");
+    }
+}

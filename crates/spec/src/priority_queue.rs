@@ -1,0 +1,103 @@
+//! Sequential min-priority-queue specification.
+
+use crate::traits::{ObjectKind, SequentialSpec, SpecError};
+use linrv_history::{OpValue, Operation};
+use std::collections::BTreeMap;
+
+/// Sequential specification of a min-priority queue over integers (duplicates allowed).
+///
+/// * `Insert(v)` inserts `v` and responds `true`.
+/// * `ExtractMin()` removes and returns the smallest element, or responds `empty`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PriorityQueueSpec;
+
+impl PriorityQueueSpec {
+    /// Creates the priority-queue specification.
+    pub fn new() -> Self {
+        PriorityQueueSpec
+    }
+}
+
+impl SequentialSpec for PriorityQueueSpec {
+    // Multiset of elements: value → multiplicity.
+    type State = BTreeMap<i64, u32>;
+
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::PriorityQueue
+    }
+
+    fn initial_state(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        operation: &Operation,
+    ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
+        match operation.kind.as_str() {
+            "Insert" => {
+                let v = operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
+                    operation: operation.kind.clone(),
+                    reason: "expected an integer argument".into(),
+                })?;
+                let mut next = state.clone();
+                *next.entry(v).or_insert(0) += 1;
+                Ok(vec![(next, OpValue::Bool(true))])
+            }
+            "ExtractMin" => {
+                let mut next = state.clone();
+                match next.keys().next().copied() {
+                    Some(min) => {
+                        let count = next.get_mut(&min).expect("key exists");
+                        *count -= 1;
+                        if *count == 0 {
+                            next.remove(&min);
+                        }
+                        Ok(vec![(next, OpValue::Int(min))])
+                    }
+                    None => Ok(vec![(state.clone(), OpValue::Empty)]),
+                }
+            }
+            other => Err(SpecError::UnknownOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::priority_queue as ops;
+
+    #[test]
+    fn extract_min_returns_smallest() {
+        let spec = PriorityQueueSpec::new();
+        let s0 = spec.initial_state();
+        let (s1, _) = spec.step_deterministic(&s0, &ops::insert(5)).unwrap();
+        let (s2, _) = spec.step_deterministic(&s1, &ops::insert(2)).unwrap();
+        let (s3, _) = spec.step_deterministic(&s2, &ops::insert(2)).unwrap();
+        let (s4, r1) = spec.step_deterministic(&s3, &ops::extract_min()).unwrap();
+        let (s5, r2) = spec.step_deterministic(&s4, &ops::extract_min()).unwrap();
+        let (_, r3) = spec.step_deterministic(&s5, &ops::extract_min()).unwrap();
+        assert_eq!(r1, OpValue::Int(2));
+        assert_eq!(r2, OpValue::Int(2));
+        assert_eq!(r3, OpValue::Int(5));
+    }
+
+    #[test]
+    fn extract_on_empty_returns_empty() {
+        let spec = PriorityQueueSpec::new();
+        let (_, r) = spec
+            .step_deterministic(&spec.initial_state(), &ops::extract_min())
+            .unwrap();
+        assert_eq!(r, OpValue::Empty);
+    }
+
+    #[test]
+    fn unknown_operation_is_rejected() {
+        let spec = PriorityQueueSpec::new();
+        assert!(spec
+            .step(&spec.initial_state(), &Operation::nullary("Dequeue"))
+            .is_err());
+    }
+}

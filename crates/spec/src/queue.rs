@@ -1,0 +1,132 @@
+//! Sequential FIFO queue specification.
+
+use crate::traits::{ObjectKind, SequentialSpec, SpecError};
+use linrv_history::{OpValue, Operation};
+use std::collections::VecDeque;
+
+/// Sequential specification of a FIFO queue.
+///
+/// * `Enqueue(v)` appends `v` and responds `true`.
+/// * `Dequeue()` removes and returns the oldest element, or responds `empty` when the
+///   queue holds no elements.
+///
+/// This is the object used throughout the paper's impossibility argument
+/// (Theorem 5.1, Figures 4–6 and 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueSpec;
+
+impl QueueSpec {
+    /// Creates the queue specification.
+    pub fn new() -> Self {
+        QueueSpec
+    }
+}
+
+impl SequentialSpec for QueueSpec {
+    type State = VecDeque<i64>;
+
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Queue
+    }
+
+    fn initial_state(&self) -> Self::State {
+        VecDeque::new()
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        operation: &Operation,
+    ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
+        match operation.kind.as_str() {
+            "Enqueue" => {
+                let v = operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
+                    operation: operation.kind.clone(),
+                    reason: "expected an integer argument".into(),
+                })?;
+                let mut next = state.clone();
+                next.push_back(v);
+                Ok(vec![(next, OpValue::Bool(true))])
+            }
+            "Dequeue" => {
+                let mut next = state.clone();
+                match next.pop_front() {
+                    Some(v) => Ok(vec![(next, OpValue::Int(v))]),
+                    None => Ok(vec![(state.clone(), OpValue::Empty)]),
+                }
+            }
+            other => Err(SpecError::UnknownOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::queue as ops;
+
+    #[test]
+    fn fifo_order() {
+        let spec = QueueSpec::new();
+        let s0 = spec.initial_state();
+        let (s1, _) = spec.step_deterministic(&s0, &ops::enqueue(1)).unwrap();
+        let (s2, _) = spec.step_deterministic(&s1, &ops::enqueue(2)).unwrap();
+        let (s3, r1) = spec.step_deterministic(&s2, &ops::dequeue()).unwrap();
+        let (_, r2) = spec.step_deterministic(&s3, &ops::dequeue()).unwrap();
+        assert_eq!(r1, OpValue::Int(1));
+        assert_eq!(r2, OpValue::Int(2));
+    }
+
+    #[test]
+    fn dequeue_on_empty_returns_empty() {
+        let spec = QueueSpec::new();
+        let (next, r) = spec
+            .step_deterministic(&spec.initial_state(), &ops::dequeue())
+            .unwrap();
+        assert_eq!(r, OpValue::Empty);
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn unknown_operation_is_rejected() {
+        let spec = QueueSpec::new();
+        assert!(matches!(
+            spec.step(&spec.initial_state(), &Operation::nullary("Pop")),
+            Err(SpecError::UnknownOperation(_))
+        ));
+    }
+
+    #[test]
+    fn enqueue_requires_integer_argument() {
+        let spec = QueueSpec::new();
+        assert!(matches!(
+            spec.step(&spec.initial_state(), &Operation::nullary("Enqueue")),
+            Err(SpecError::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_matches_step() {
+        let spec = QueueSpec::new();
+        let s0 = spec.initial_state();
+        assert!(spec.accepts(&s0, &ops::enqueue(1), &OpValue::Bool(true)).is_some());
+        assert!(spec.accepts(&s0, &ops::dequeue(), &OpValue::Int(1)).is_none());
+        assert!(spec.accepts(&s0, &ops::dequeue(), &OpValue::Empty).is_some());
+    }
+
+    #[test]
+    fn accepts_sequential_history() {
+        use linrv_history::{HistoryBuilder, ProcessId};
+        let spec = QueueSpec::new();
+        let p = ProcessId::new(0);
+        let mut b = HistoryBuilder::new();
+        b.complete(p, ops::enqueue(1), OpValue::Bool(true));
+        b.complete(p, ops::dequeue(), OpValue::Int(1));
+        b.complete(p, ops::dequeue(), OpValue::Empty);
+        assert!(spec.accepts_sequential_history(&b.build()));
+
+        let mut b = HistoryBuilder::new();
+        b.complete(p, ops::dequeue(), OpValue::Int(7));
+        assert!(!spec.accepts_sequential_history(&b.build()));
+    }
+}

@@ -1,0 +1,72 @@
+//! Sequential read/write register specification.
+
+use crate::traits::{ObjectKind, SequentialSpec, SpecError};
+use linrv_history::{OpValue, Operation};
+
+/// Sequential specification of an integer read/write register, initially `0`.
+///
+/// * `Write(v)` stores `v` and responds `true`.
+/// * `Read()` responds with the last written value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegisterSpec;
+
+impl RegisterSpec {
+    /// Creates the register specification.
+    pub fn new() -> Self {
+        RegisterSpec
+    }
+}
+
+impl SequentialSpec for RegisterSpec {
+    type State = i64;
+
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Register
+    }
+
+    fn initial_state(&self) -> Self::State {
+        0
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        operation: &Operation,
+    ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
+        match operation.kind.as_str() {
+            "Write" => {
+                let v = operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
+                    operation: operation.kind.clone(),
+                    reason: "expected an integer argument".into(),
+                })?;
+                Ok(vec![(v, OpValue::Bool(true))])
+            }
+            "Read" => Ok(vec![(*state, OpValue::Int(*state))]),
+            other => Err(SpecError::UnknownOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::register as ops;
+
+    #[test]
+    fn reads_return_last_written_value() {
+        let spec = RegisterSpec::new();
+        let s0 = spec.initial_state();
+        let (_, r) = spec.step_deterministic(&s0, &ops::read()).unwrap();
+        assert_eq!(r, OpValue::Int(0));
+        let (s1, _) = spec.step_deterministic(&s0, &ops::write(42)).unwrap();
+        let (_, r) = spec.step_deterministic(&s1, &ops::read()).unwrap();
+        assert_eq!(r, OpValue::Int(42));
+    }
+
+    #[test]
+    fn write_requires_integer() {
+        let spec = RegisterSpec::new();
+        assert!(spec.step(&0, &Operation::nullary("Write")).is_err());
+        assert!(spec.step(&0, &Operation::nullary("Enqueue")).is_err());
+    }
+}

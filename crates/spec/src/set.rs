@@ -1,0 +1,94 @@
+//! Sequential set specification.
+
+use crate::traits::{ObjectKind, SequentialSpec, SpecError};
+use linrv_history::{OpValue, Operation};
+use std::collections::BTreeSet;
+
+/// Sequential specification of an integer set.
+///
+/// * `Add(v)` inserts `v`, responding `true` when `v` was absent and `false` otherwise.
+/// * `Remove(v)` removes `v`, responding `true` when `v` was present.
+/// * `Contains(v)` responds whether `v` is present.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetSpec;
+
+impl SetSpec {
+    /// Creates the set specification.
+    pub fn new() -> Self {
+        SetSpec
+    }
+
+    fn int_arg(operation: &Operation) -> Result<i64, SpecError> {
+        operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
+            operation: operation.kind.clone(),
+            reason: "expected an integer argument".into(),
+        })
+    }
+}
+
+impl SequentialSpec for SetSpec {
+    type State = BTreeSet<i64>;
+
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Set
+    }
+
+    fn initial_state(&self) -> Self::State {
+        BTreeSet::new()
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        operation: &Operation,
+    ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
+        match operation.kind.as_str() {
+            "Add" => {
+                let v = Self::int_arg(operation)?;
+                let mut next = state.clone();
+                let added = next.insert(v);
+                Ok(vec![(next, OpValue::Bool(added))])
+            }
+            "Remove" => {
+                let v = Self::int_arg(operation)?;
+                let mut next = state.clone();
+                let removed = next.remove(&v);
+                Ok(vec![(next, OpValue::Bool(removed))])
+            }
+            "Contains" => {
+                let v = Self::int_arg(operation)?;
+                Ok(vec![(state.clone(), OpValue::Bool(state.contains(&v)))])
+            }
+            other => Err(SpecError::UnknownOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::set as ops;
+
+    #[test]
+    fn add_remove_contains() {
+        let spec = SetSpec::new();
+        let s0 = spec.initial_state();
+        let (s1, r) = spec.step_deterministic(&s0, &ops::add(3)).unwrap();
+        assert_eq!(r, OpValue::Bool(true));
+        let (_, r) = spec.step_deterministic(&s1, &ops::add(3)).unwrap();
+        assert_eq!(r, OpValue::Bool(false));
+        let (_, r) = spec.step_deterministic(&s1, &ops::contains(3)).unwrap();
+        assert_eq!(r, OpValue::Bool(true));
+        let (s2, r) = spec.step_deterministic(&s1, &ops::remove(3)).unwrap();
+        assert_eq!(r, OpValue::Bool(true));
+        let (_, r) = spec.step_deterministic(&s2, &ops::remove(3)).unwrap();
+        assert_eq!(r, OpValue::Bool(false));
+    }
+
+    #[test]
+    fn unknown_and_invalid_operations() {
+        let spec = SetSpec::new();
+        assert!(spec.step(&spec.initial_state(), &Operation::nullary("Pop")).is_err());
+        assert!(spec.step(&spec.initial_state(), &Operation::nullary("Add")).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Sequential LIFO stack specification.
+
+use crate::traits::{ObjectKind, SequentialSpec, SpecError};
+use linrv_history::{OpValue, Operation};
+
+/// Sequential specification of a LIFO stack.
+///
+/// * `Push(v)` pushes `v` and responds `true`.
+/// * `Pop()` removes and returns the newest element, or responds `empty` when the
+///   stack holds no elements.
+///
+/// The stack is the object of Figures 1 and 3 in the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackSpec;
+
+impl StackSpec {
+    /// Creates the stack specification.
+    pub fn new() -> Self {
+        StackSpec
+    }
+}
+
+impl SequentialSpec for StackSpec {
+    type State = Vec<i64>;
+
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Stack
+    }
+
+    fn initial_state(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        operation: &Operation,
+    ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
+        match operation.kind.as_str() {
+            "Push" => {
+                let v = operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
+                    operation: operation.kind.clone(),
+                    reason: "expected an integer argument".into(),
+                })?;
+                let mut next = state.clone();
+                next.push(v);
+                Ok(vec![(next, OpValue::Bool(true))])
+            }
+            "Pop" => {
+                let mut next = state.clone();
+                match next.pop() {
+                    Some(v) => Ok(vec![(next, OpValue::Int(v))]),
+                    None => Ok(vec![(state.clone(), OpValue::Empty)]),
+                }
+            }
+            other => Err(SpecError::UnknownOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::stack as ops;
+
+    #[test]
+    fn lifo_order() {
+        let spec = StackSpec::new();
+        let s0 = spec.initial_state();
+        let (s1, _) = spec.step_deterministic(&s0, &ops::push(1)).unwrap();
+        let (s2, _) = spec.step_deterministic(&s1, &ops::push(2)).unwrap();
+        let (s3, r1) = spec.step_deterministic(&s2, &ops::pop()).unwrap();
+        let (_, r2) = spec.step_deterministic(&s3, &ops::pop()).unwrap();
+        assert_eq!(r1, OpValue::Int(2));
+        assert_eq!(r2, OpValue::Int(1));
+    }
+
+    #[test]
+    fn pop_on_empty_returns_empty() {
+        let spec = StackSpec::new();
+        let (_, r) = spec
+            .step_deterministic(&spec.initial_state(), &ops::pop())
+            .unwrap();
+        assert_eq!(r, OpValue::Empty);
+    }
+
+    #[test]
+    fn figure_3_top_linearization_is_a_sequential_history() {
+        // ⟨Push(2):true⟩⟨Push(1):true⟩⟨Pop():1⟩⟨Pop():2⟩ — the linearization given in
+        // the caption of Figure 3 (top).
+        use linrv_history::{HistoryBuilder, ProcessId};
+        let spec = StackSpec::new();
+        let p = ProcessId::new(0);
+        let mut b = HistoryBuilder::new();
+        b.complete(p, ops::push(2), OpValue::Bool(true));
+        b.complete(p, ops::push(1), OpValue::Bool(true));
+        b.complete(p, ops::pop(), OpValue::Int(1));
+        b.complete(p, ops::pop(), OpValue::Int(2));
+        assert!(spec.accepts_sequential_history(&b.build()));
+    }
+
+    #[test]
+    fn pop_empty_on_nonempty_stack_is_rejected() {
+        // The caption of Figure 3 (bottom): the stack cannot be empty when Pop():empty
+        // starts, so no sequential history may return empty while an element remains.
+        let spec = StackSpec::new();
+        let (s1, _) = spec
+            .step_deterministic(&spec.initial_state(), &ops::push(1))
+            .unwrap();
+        assert!(spec.accepts(&s1, &ops::pop(), &OpValue::Empty).is_none());
+    }
+
+    #[test]
+    fn unknown_operation_is_rejected() {
+        let spec = StackSpec::new();
+        assert!(spec
+            .step(&spec.initial_state(), &Operation::nullary("Dequeue"))
+            .is_err());
+    }
+}

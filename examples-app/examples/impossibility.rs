@@ -1,0 +1,41 @@
+//! The impossibility argument of Theorem 5.1, rendered executable.
+//!
+//! ```text
+//! cargo run --example impossibility
+//! ```
+
+use linrv_core::impossibility::theorem51_demo;
+use linrv_history::display::render_timeline;
+
+fn main() {
+    println!("{}", linrv_examples::banner("Theorem 5.1: linearizability is not runtime verifiable"));
+    let demo = theorem51_demo();
+
+    println!("\nExecution E — p2's Dequeue():1 completes before p1's Enqueue(1) starts:");
+    println!("{}", render_timeline(&demo.history_e));
+    println!("linearizable? {}", !demo.e_violates_linearizability());
+
+    println!("\nExecution F — the calls to A happen in the opposite order:");
+    println!("{}", render_timeline(&demo.history_f));
+    println!("linearizable? {}", demo.f_is_linearizable());
+
+    println!("\nWhat any verifier can observe (identical in E and F):");
+    for obs in &demo.observations_e {
+        println!("  {}: responses {:?}", obs.process, obs.responses);
+    }
+    println!("  detected history (read from shared memory):");
+    println!("{}", render_timeline(&demo.observations_e[0].detected));
+
+    println!("indistinguishable to every process? {}", demo.executions_are_indistinguishable());
+    println!();
+    println!("A sound verifier must stay silent in F; a complete verifier must report ERROR in E;");
+    println!("since no process can tell E and F apart, no wait-free verifier can do both —");
+    println!("regardless of the consensus power of its base objects (Theorem 5.1).");
+    println!();
+    println!("The paper evades this by verifying the DRV counterpart A* instead (Figures 7–11);");
+    println!("see the quickstart and accountable_kv examples.");
+
+    assert!(demo.executions_are_indistinguishable());
+    assert!(demo.e_violates_linearizability());
+    assert!(demo.f_is_linearizable());
+}

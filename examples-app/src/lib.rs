@@ -1,0 +1,27 @@
+//! Helper crate hosting the runnable examples of the `linrv` workspace.
+//!
+//! The examples live under `examples/`:
+//!
+//! * `quickstart` — wrap a lock-free queue into a self-enforced queue and run a
+//!   multi-threaded workload with runtime verification of every response.
+//! * `accountable_kv` — a key-value store backed by a faulty register; clients detect
+//!   the violation and obtain a forensic certificate (Section 8.3 of the paper).
+//! * `faulty_queue_forensics` — a producer/consumer work-queue over a lossy queue with
+//!   a decoupled background verifier (Figure 12).
+//! * `impossibility` — prints the Theorem 5.1 `E`/`F` executions and the
+//!   indistinguishability argument.
+//! * `figures` — reproduces the history figures of the paper (Figures 1, 3, 5, 6, 8, 9)
+//!   and re-checks each caption's claim.
+
+/// Formats a banner line used by the examples' output.
+pub fn banner(title: &str) -> String {
+    format!("==== {title} {}", "=".repeat(60usize.saturating_sub(title.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_contains_title() {
+        assert!(super::banner("hello").contains("hello"));
+    }
+}

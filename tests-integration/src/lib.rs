@@ -1,0 +1,18 @@
+//! Cross-crate integration and property tests for the `linrv` workspace.
+//!
+//! The actual tests live under `tests/`; this library only hosts small shared helpers.
+
+use linrv_history::ProcessId;
+
+/// Shorthand used across the integration tests.
+pub fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper_builds_process_ids() {
+        assert_eq!(super::p(3).index(), 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! End-to-end integration tests: black-box implementations → DRV transform →
+//! predictive verifier / self-enforced wrappers, across object kinds.
+
+use linrv_check::{GenLinObject, LinSpec};
+use linrv_core::decoupled::decoupled;
+use linrv_core::enforce::SelfEnforced;
+use linrv_core::verifier::{run_verified, Verifier};
+use linrv_core::drv::Drv;
+use linrv_history::{OpValue, ProcessId};
+use linrv_runtime::faulty::{DuplicatingStack, LossyQueue, StutteringCounter};
+use linrv_runtime::impls::{AtomicCounter, CasConsensus, MsQueue, SpecObject, TreiberStack};
+use linrv_runtime::{ConcurrentObject, Workload, WorkloadKind};
+use linrv_spec::ops;
+use linrv_spec::{CounterSpec, PriorityQueueSpec, QueueSpec, SetSpec, StackSpec};
+use std::sync::Arc;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Theorem 8.2(2), first half: when `A` is correct, the self-enforced implementation is
+/// correct and never returns ERROR — across several object kinds and workloads.
+#[test]
+fn self_enforced_correct_objects_never_error() {
+    // Queue.
+    let queue = SelfEnforced::new(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2);
+    let workload = Workload::new(WorkloadKind::Queue, 101);
+    for (i, op) in workload.operations_for(0, 30).iter().enumerate() {
+        let r = queue.apply_verified(p((i % 2) as u32), op);
+        assert!(r.is_verified());
+    }
+    assert!(queue.certificate().is_correct());
+
+    // Stack.
+    let stack = SelfEnforced::new(TreiberStack::new(), LinSpec::new(StackSpec::new()), 2);
+    let workload = Workload::new(WorkloadKind::Stack, 102);
+    for (i, op) in workload.operations_for(1, 30).iter().enumerate() {
+        assert!(stack.apply_verified(p((i % 2) as u32), op).is_verified());
+    }
+
+    // Counter.
+    let counter = SelfEnforced::new(AtomicCounter::new(), LinSpec::new(CounterSpec::new()), 2);
+    for _ in 0..10 {
+        assert!(counter.apply_verified(p(0), &ops::counter::inc()).is_verified());
+        assert!(counter.apply_verified(p(1), &ops::counter::read()).is_verified());
+    }
+
+    // Set (lock-based universal construction).
+    let set = SelfEnforced::new(SpecObject::new(SetSpec::new()), LinSpec::new(SetSpec::new()), 2);
+    let workload = Workload::new(WorkloadKind::Set, 103);
+    for (i, op) in workload.operations_for(0, 30).iter().enumerate() {
+        assert!(set.apply_verified(p((i % 2) as u32), op).is_verified());
+    }
+
+    // Priority queue (lock-based universal construction).
+    let pq = SelfEnforced::new(
+        SpecObject::new(PriorityQueueSpec::new()),
+        LinSpec::new(PriorityQueueSpec::new()),
+        2,
+    );
+    let workload = Workload::new(WorkloadKind::PriorityQueue, 104);
+    for (i, op) in workload.operations_for(0, 30).iter().enumerate() {
+        assert!(pq.apply_verified(p((i % 2) as u32), op).is_verified());
+    }
+}
+
+/// Theorem 8.2(2), second half: when `A` is incorrect, eventually operations return
+/// ERROR together with a witness for `A*`, and the certificate records the violation.
+#[test]
+fn self_enforced_faulty_objects_eventually_error_with_witnesses() {
+    let cases: Vec<(Box<dyn ConcurrentObject>, Box<dyn GenLinObject>, WorkloadKind)> = vec![
+        (
+            Box::new(LossyQueue::new(3)),
+            Box::new(LinSpec::new(QueueSpec::new())),
+            WorkloadKind::Queue,
+        ),
+        (
+            Box::new(DuplicatingStack::new(3)),
+            Box::new(LinSpec::new(StackSpec::new())),
+            WorkloadKind::Stack,
+        ),
+        (
+            Box::new(StutteringCounter::new(3)),
+            Box::new(LinSpec::new(CounterSpec::new())),
+            WorkloadKind::Counter,
+        ),
+    ];
+    for (object, spec, kind) in cases {
+        let name = object.name();
+        let enforced = SelfEnforced::new(object, spec, 1);
+        let workload = Workload::new(kind, 55);
+        let mut saw_error = false;
+        for op in workload.operations_for(0, 40) {
+            let r = enforced.apply_verified(p(0), &op);
+            if !r.is_verified() {
+                saw_error = true;
+                assert_eq!(r.value, OpValue::Error);
+                assert!(r.witness.is_some());
+            }
+        }
+        assert!(saw_error, "{name}: violation never reported");
+        assert!(!enforced.certificate().is_correct(), "{name}: certificate must record the violation");
+    }
+}
+
+/// Consensus: the verifier checks validity through real-time order — a correct CAS
+/// consensus never errors.
+#[test]
+fn consensus_decisions_are_verified() {
+    let enforced = SelfEnforced::new(
+        CasConsensus::new(),
+        LinSpec::new(linrv_spec::ConsensusSpec::new()),
+        3,
+    );
+    let enforced = Arc::new(enforced);
+    let ok = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..3u32 {
+            let enforced = Arc::clone(&enforced);
+            handles.push(scope.spawn(move || {
+                enforced
+                    .apply_verified(p(t), &ops::consensus::decide(i64::from(t) + 10))
+                    .is_verified()
+            }));
+        }
+        handles.into_iter().all(|h| h.join().unwrap())
+    });
+    assert!(ok, "correct consensus was flagged");
+    assert!(enforced.certificate().is_correct());
+}
+
+/// The predictive verifier driven as in Figure 10, concurrently, over a correct and an
+/// incorrect implementation (soundness + completeness at system level).
+#[test]
+fn verifier_full_loop_concurrent_soundness_and_sequential_completeness() {
+    // Soundness: 3 threads over a correct queue.
+    let n = 3;
+    let drv = Drv::new(MsQueue::new(), n);
+    let verifier = Verifier::new(LinSpec::new(QueueSpec::new()), n);
+    let workload = Workload::new(WorkloadKind::Queue, 77);
+    let run = run_verified(&drv, &verifier, |i| workload.operations_for(i, 25));
+    assert!(run.error_free());
+    assert_eq!(run.operations, 75);
+
+    // Completeness: a lossy queue driven by one process errors and stays in error.
+    let drv = Drv::new(LossyQueue::new(2), 1);
+    let verifier = Verifier::new(LinSpec::new(QueueSpec::new()), 1);
+    let ops: Vec<_> = (0..8)
+        .map(|i| ops::queue::enqueue(i))
+        .chain((0..8).map(|_| ops::queue::dequeue()))
+        .collect();
+    let run = run_verified(&drv, &verifier, |_| ops.clone());
+    assert!(!run.error_free());
+    assert!(!run.witnesses.is_empty());
+    for witness in &run.witnesses {
+        assert!(!LinSpec::new(QueueSpec::new()).contains(witness));
+    }
+}
+
+/// Decoupled producers/verifier (Figure 12) over correct and faulty queues.
+#[test]
+fn decoupled_roles_split_production_and_verification() {
+    let (producer, verifier) = decoupled(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2);
+    producer.apply(p(0), &ops::queue::enqueue(1));
+    producer.apply(p(1), &ops::queue::enqueue(2));
+    assert_eq!(producer.apply(p(0), &ops::queue::dequeue()), OpValue::Int(1));
+    assert!(verifier.check_once().is_ok());
+
+    let (producer, verifier) = decoupled(LossyQueue::new(2), LinSpec::new(QueueSpec::new()), 1);
+    for i in 0..8 {
+        producer.apply(p(0), &ops::queue::enqueue(i));
+    }
+    let mut drained = 0;
+    loop {
+        match producer.apply(p(0), &ops::queue::dequeue()) {
+            OpValue::Int(_) => drained += 1,
+            _ => break,
+        }
+    }
+    assert!(drained < 8);
+    assert!(!verifier.check_once().is_ok());
+}
+
+/// The verifier works with any snapshot implementation, including the blocking oracle
+/// (modularity of the construction with respect to its base objects).
+#[test]
+fn verifier_is_generic_over_the_snapshot_implementation() {
+    use linrv_core::view::{TupleSet, View};
+    use linrv_snapshot::{DoubleCollectSnapshot, LockedSnapshot, Snapshot};
+
+    let announcements: Arc<dyn Snapshot<View>> = Arc::new(LockedSnapshot::new(2, View::new()));
+    let results: Arc<dyn Snapshot<TupleSet>> =
+        Arc::new(DoubleCollectSnapshot::new(2, TupleSet::new()));
+    let enforced = SelfEnforced::with_snapshots(
+        MsQueue::new(),
+        LinSpec::new(QueueSpec::new()),
+        announcements,
+        results,
+    );
+    assert!(enforced.apply_verified(p(0), &ops::queue::enqueue(9)).is_verified());
+    assert!(enforced.apply_verified(p(1), &ops::queue::dequeue()).is_verified());
+    assert!(enforced.certificate().is_correct());
+}
+
+/// Impossibility (Theorem 5.1) and its predictive variant (Theorem A.1): the executable
+/// demo exhibits indistinguishable executions with opposite verdicts.
+#[test]
+fn impossibility_demo_holds() {
+    let demo = linrv_core::impossibility::theorem51_demo();
+    assert!(demo.executions_are_indistinguishable());
+    assert!(demo.e_violates_linearizability());
+    assert!(demo.f_is_linearizable());
+}
