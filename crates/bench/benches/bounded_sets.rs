@@ -18,26 +18,34 @@ fn quick() -> Criterion {
 fn bench_publish(c: &mut Criterion) {
     let mut group = c.benchmark_group("E13_announcement_publish");
     for size in [16usize, 128, 1024] {
-        group.bench_with_input(BenchmarkId::new("btreeset_clone_insert", size), &size, |b, &size| {
-            let mut set = BTreeSet::new();
-            for i in 0..size {
-                set.insert(i);
-            }
-            b.iter(|| {
-                // One announcement: clone the set (what the register write stores) and
-                // insert the new element.
-                let mut published = set.clone();
-                published.insert(size + 1);
-                published
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("persistent_list_push", size), &size, |b, &size| {
-            let mut list = PersistentList::new();
-            for i in 0..size {
-                list = list.push(i);
-            }
-            b.iter(|| list.push(size + 1));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("btreeset_clone_insert", size),
+            &size,
+            |b, &size| {
+                let mut set = BTreeSet::new();
+                for i in 0..size {
+                    set.insert(i);
+                }
+                b.iter(|| {
+                    // One announcement: clone the set (what the register write stores) and
+                    // insert the new element.
+                    let mut published = set.clone();
+                    published.insert(size + 1);
+                    published
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("persistent_list_push", size),
+            &size,
+            |b, &size| {
+                let mut list = PersistentList::new();
+                for i in 0..size {
+                    list = list.push(i);
+                }
+                b.iter(|| list.push(size + 1));
+            },
+        );
     }
     group.finish();
 }
@@ -47,13 +55,17 @@ fn bench_read_back(c: &mut Criterion) {
     // time, whereas the cloned BTreeSet is immediately usable.
     let mut group = c.benchmark_group("E13_announcement_read_back");
     for size in [16usize, 128, 1024] {
-        group.bench_with_input(BenchmarkId::new("persistent_list_to_set", size), &size, |b, &size| {
-            let mut list = PersistentList::new();
-            for i in 0..size {
-                list = list.push(i);
-            }
-            b.iter(|| list.to_set());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("persistent_list_to_set", size),
+            &size,
+            |b, &size| {
+                let mut list = PersistentList::new();
+                for i in 0..size {
+                    list = list.push(i);
+                }
+                b.iter(|| list.to_set());
+            },
+        );
     }
     group.finish();
 }

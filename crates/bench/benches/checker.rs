@@ -83,10 +83,14 @@ fn bench_partitioning(c: &mut Criterion) {
             let checker = LinSpec::new(SetSpec::new());
             b.iter(|| checker.contains(h));
         });
-        group.bench_with_input(BenchmarkId::new("partitioned_set", len), &history, |b, h| {
-            let checker = linrv_check::partitioned::partitioned_set();
-            b.iter(|| checker.contains(h));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("partitioned_set", len),
+            &history,
+            |b, h| {
+                let checker = linrv_check::partitioned::partitioned_set();
+                b.iter(|| checker.contains(h));
+            },
+        );
     }
     group.finish();
 }

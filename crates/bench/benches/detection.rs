@@ -21,7 +21,11 @@ fn quick() -> Criterion {
 }
 
 fn ops_until_detection_lossy_queue(drop_every: u64) -> usize {
-    let enforced = SelfEnforced::new(LossyQueue::new(drop_every), LinSpec::new(QueueSpec::new()), 1);
+    let enforced = SelfEnforced::new(
+        LossyQueue::new(drop_every),
+        LinSpec::new(QueueSpec::new()),
+        1,
+    );
     let p0 = ProcessId::new(0);
     let mut ops = 0usize;
     for i in 0..(drop_every as i64 + 1) {

@@ -101,9 +101,11 @@ fn bench_figures(c: &mut Criterion) {
             };
             let (a, b_, c, d) = (mk(0, 0), mk(0, 1), mk(1, 2), mk(2, 3));
             let v1: linrv_core::view::View = [a.clone()].into_iter().collect();
-            let v2: linrv_core::view::View = [a.clone(), b_.clone(), c.clone()].into_iter().collect();
-            let v3: linrv_core::view::View =
-                [a.clone(), b_.clone(), c.clone(), d.clone()].into_iter().collect();
+            let v2: linrv_core::view::View =
+                [a.clone(), b_.clone(), c.clone()].into_iter().collect();
+            let v3: linrv_core::view::View = [a.clone(), b_.clone(), c.clone(), d.clone()]
+                .into_iter()
+                .collect();
             let mut tuples = TupleSet::new();
             tuples.insert(ViewTuple::new(a, OpValue::Str("a".into()), v1));
             tuples.insert(ViewTuple::new(b_, OpValue::Str("b".into()), v2));

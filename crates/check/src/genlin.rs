@@ -167,6 +167,9 @@ mod tests {
         assert!(boxed.contains(&sample()));
         let arc: std::sync::Arc<dyn GenLinObject> = std::sync::Arc::new(Anything);
         assert!(arc.contains(&sample()));
-        assert_eq!((&Anything as &dyn GenLinObject).description(), "any well-formed history");
+        assert_eq!(
+            (&Anything as &dyn GenLinObject).description(),
+            "any well-formed history"
+        );
     }
 }

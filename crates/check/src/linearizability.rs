@@ -436,7 +436,11 @@ mod tests {
     #[test]
     fn malformed_history_is_rejected_with_explanation() {
         let mut h = History::new();
-        h.push(linrv_history::Event::response(p(0), linrv_history::OpId::new(0), OpValue::Unit));
+        h.push(linrv_history::Event::response(
+            p(0),
+            linrv_history::OpId::new(0),
+            OpValue::Unit,
+        ));
         let object = LinSpec::new(QueueSpec::new());
         let verdict = object.check(&h);
         let violation = verdict.violation().expect("not well formed");
@@ -511,7 +515,10 @@ mod tests {
                 max_explored_states: None,
             },
         );
-        assert_eq!(with.check(&history).is_member(), without.check(&history).is_member());
+        assert_eq!(
+            with.check(&history).is_member(),
+            without.check(&history).is_member()
+        );
     }
 
     #[test]

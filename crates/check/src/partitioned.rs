@@ -103,7 +103,9 @@ where
         if inconclusive {
             Verdict::Inconclusive
         } else {
-            Verdict::Member { linearization: None }
+            Verdict::Member {
+                linearization: None,
+            }
         }
     }
 }

@@ -25,7 +25,11 @@ pub trait SetSequentialSpec: Send + Sync {
     /// Applies a non-empty batch of operations simultaneously. Returns the successor
     /// state and one response per operation (in batch order), or `None` when the batch
     /// is not allowed in `state`.
-    fn step_batch(&self, state: &Self::State, batch: &[Operation]) -> Option<(Self::State, Vec<OpValue>)>;
+    fn step_batch(
+        &self,
+        state: &Self::State,
+        batch: &[Operation],
+    ) -> Option<(Self::State, Vec<OpValue>)>;
 
     /// Human-readable name of the object.
     fn name(&self) -> String;
@@ -44,7 +48,11 @@ impl<S: SequentialSpec> SetSequentialSpec for Singletons<S> {
         self.0.initial_state()
     }
 
-    fn step_batch(&self, state: &Self::State, batch: &[Operation]) -> Option<(Self::State, Vec<OpValue>)> {
+    fn step_batch(
+        &self,
+        state: &Self::State,
+        batch: &[Operation],
+    ) -> Option<(Self::State, Vec<OpValue>)> {
         if batch.len() != 1 {
             return None;
         }
@@ -84,7 +92,11 @@ impl SetSequentialSpec for SetLinCounterSpec {
         0
     }
 
-    fn step_batch(&self, state: &Self::State, batch: &[Operation]) -> Option<(Self::State, Vec<OpValue>)> {
+    fn step_batch(
+        &self,
+        state: &Self::State,
+        batch: &[Operation],
+    ) -> Option<(Self::State, Vec<OpValue>)> {
         let mut increments = 0i64;
         let mut responses = Vec::with_capacity(batch.len());
         for op in batch {
@@ -154,7 +166,9 @@ impl<S: SetSequentialSpec> SetLinSpec<S> {
             0,
             &mut memo,
         ) {
-            Verdict::Member { linearization: None }
+            Verdict::Member {
+                linearization: None,
+            }
         } else {
             Verdict::NotMember {
                 violation: Violation {
@@ -205,13 +219,20 @@ impl<S: SetSequentialSpec> SetLinSpec<S> {
             if !self.mutually_concurrent(records, &class) {
                 continue;
             }
-            let ops: Vec<Operation> = class.iter().map(|&i| records[i].operation.clone()).collect();
+            let ops: Vec<Operation> = class
+                .iter()
+                .map(|&i| records[i].operation.clone())
+                .collect();
             let Some((next_state, responses)) = self.spec.step_batch(&state, &ops) else {
                 continue;
             };
             // Complete operations must reproduce their recorded response.
             let matches = class.iter().zip(&responses).all(|(&i, response)| {
-                records[i].response.as_ref().map(|r| r == response).unwrap_or(true)
+                records[i]
+                    .response
+                    .as_ref()
+                    .map(|r| r == response)
+                    .unwrap_or(true)
             });
             if !matches {
                 continue;

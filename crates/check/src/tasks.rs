@@ -134,7 +134,9 @@ impl<T: Task> GenLinObject for OneShotTaskObject<T> {
         // For every completed operation, the decided outputs so far must be explainable
         // by the inputs of operations that were invoked no later than that response.
         for r in &records {
-            let Some(response_index) = r.response_index else { continue };
+            let Some(response_index) = r.response_index else {
+                continue;
+            };
             let participating: Vec<i64> = records
                 .iter()
                 .filter(|other| other.invocation_index < response_index)

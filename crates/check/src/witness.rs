@@ -72,11 +72,15 @@ impl Verdict {
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Verdict::Member { linearization: Some(lin) } => {
+            Verdict::Member {
+                linearization: Some(lin),
+            } => {
                 writeln!(f, "member; linearization:")?;
                 write!(f, "{lin}")
             }
-            Verdict::Member { linearization: None } => write!(f, "member"),
+            Verdict::Member {
+                linearization: None,
+            } => write!(f, "member"),
             Verdict::NotMember { violation } => {
                 writeln!(f, "NOT a member:")?;
                 write!(f, "{violation}")
@@ -92,7 +96,9 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let member = Verdict::Member { linearization: None };
+        let member = Verdict::Member {
+            linearization: None,
+        };
         assert!(member.is_member());
         assert!(!member.is_violation());
         assert!(member.linearization().is_none());

@@ -114,7 +114,9 @@ pub fn decoupled<A: ConcurrentObject, O: GenLinObject>(
     let producer = DecoupledProducer {
         drv: Drv::with_snapshot(inner, announcements),
         results: Arc::clone(&results),
-        local_results: (0..producers).map(|_| Mutex::new(TupleSet::new())).collect(),
+        local_results: (0..producers)
+            .map(|_| Mutex::new(TupleSet::new()))
+            .collect(),
     };
     let verifier = DecoupledVerifier {
         verifier: Verifier::with_snapshot(object, results),
@@ -139,7 +141,10 @@ mod tests {
     #[test]
     fn producers_return_immediately_and_verifier_confirms_correct_runs() {
         let (producer, verifier) = decoupled(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2);
-        assert_eq!(producer.apply(p(0), &queue::enqueue(1)), OpValue::Bool(true));
+        assert_eq!(
+            producer.apply(p(0), &queue::enqueue(1)),
+            OpValue::Bool(true)
+        );
         assert_eq!(producer.apply(p(1), &queue::dequeue()), OpValue::Int(1));
         assert!(verifier.check_once().is_ok());
         assert!(verifier.run(3).is_empty());

@@ -175,8 +175,8 @@ mod tests {
     use crate::sketch::sketch_history;
     use crate::view::{check_view_properties, TupleSet};
     use linrv_check::{GenLinObject, LinSpec};
-    use linrv_runtime::impls::{MsQueue, SpecObject};
     use linrv_runtime::faulty::Theorem51Queue;
+    use linrv_runtime::impls::{MsQueue, SpecObject};
     use linrv_spec::ops::queue;
     use linrv_spec::QueueSpec;
 

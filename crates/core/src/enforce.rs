@@ -174,7 +174,10 @@ mod tests {
     #[test]
     fn correct_queue_responses_are_passed_through_verified() {
         let enforced = SelfEnforced::new(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2);
-        assert_eq!(enforced.apply(p(0), &queue::enqueue(5)), OpValue::Bool(true));
+        assert_eq!(
+            enforced.apply(p(0), &queue::enqueue(5)),
+            OpValue::Bool(true)
+        );
         assert_eq!(enforced.apply(p(1), &queue::dequeue()), OpValue::Int(5));
         assert_eq!(enforced.apply(p(0), &queue::dequeue()), OpValue::Empty);
         let cert = enforced.certificate();
@@ -229,7 +232,10 @@ mod tests {
         enforced.apply_verified(p(0), &register::write(2));
         let mut saw_error = false;
         for _ in 0..4 {
-            if !enforced.apply_verified(p(0), &register::read()).is_verified() {
+            if !enforced
+                .apply_verified(p(0), &register::read())
+                .is_verified()
+            {
                 saw_error = true;
             }
         }

@@ -63,7 +63,7 @@ pub fn sketch_interval(tuples: &TupleSet) -> Result<IntervalHistory, SketchError
     // that ordering by size is the containment order.
     let mut distinct: Vec<&View> = Vec::new();
     for tuple in tuples {
-        if !distinct.iter().any(|v| *v == &tuple.view) {
+        if !distinct.contains(&&tuple.view) {
             distinct.push(&tuple.view);
         }
     }
@@ -145,8 +145,16 @@ mod tests {
 
         let mut tuples = TupleSet::new();
         tuples.insert(ViewTuple::new(op1.clone(), OpValue::Str("a".into()), view));
-        tuples.insert(ViewTuple::new(op1b.clone(), OpValue::Str("b".into()), view_p));
-        tuples.insert(ViewTuple::new(op3.clone(), OpValue::Str("d".into()), view_pp));
+        tuples.insert(ViewTuple::new(
+            op1b.clone(),
+            OpValue::Str("b".into()),
+            view_p,
+        ));
+        tuples.insert(ViewTuple::new(
+            op3.clone(),
+            OpValue::Str("d".into()),
+            view_pp,
+        ));
         // (p2, op2) has no tuple: its operation is pending (as in the figure, where only
         // λ_E's three tuples appear).
 
@@ -190,7 +198,11 @@ mod tests {
         let b = pair(1, 1, stack::pop());
         let shared = view_of(&[&a, &b]);
         let mut tuples = TupleSet::new();
-        tuples.insert(ViewTuple::new(a.clone(), OpValue::Bool(true), shared.clone()));
+        tuples.insert(ViewTuple::new(
+            a.clone(),
+            OpValue::Bool(true),
+            shared.clone(),
+        ));
         tuples.insert(ViewTuple::new(b.clone(), OpValue::Int(1), shared));
         let history = sketch_history(&tuples).unwrap();
         let order = linrv_history::RealTimeOrder::complete_order(&history);
@@ -208,8 +220,16 @@ mod tests {
         let a = pair(0, 0, queue::enqueue(1));
         let b = pair(1, 1, queue::enqueue(2));
         let mut tuples = TupleSet::new();
-        tuples.insert(ViewTuple::new(a.clone(), OpValue::Bool(true), view_of(&[&a])));
-        tuples.insert(ViewTuple::new(b.clone(), OpValue::Bool(true), view_of(&[&b])));
+        tuples.insert(ViewTuple::new(
+            a.clone(),
+            OpValue::Bool(true),
+            view_of(&[&a]),
+        ));
+        tuples.insert(ViewTuple::new(
+            b.clone(),
+            OpValue::Bool(true),
+            view_of(&[&b]),
+        ));
         let err = sketch_history(&tuples).unwrap_err();
         assert!(err.to_string().contains("incomparable"));
     }

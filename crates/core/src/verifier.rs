@@ -74,7 +74,10 @@ impl<O: GenLinObject> Verifier<O> {
     /// Creates a verifier for `processes` processes using the wait-free
     /// [`AfekSnapshot`].
     pub fn new(object: O, processes: usize) -> Self {
-        Self::with_snapshot(object, Arc::new(AfekSnapshot::new(processes, TupleSet::new())))
+        Self::with_snapshot(
+            object,
+            Arc::new(AfekSnapshot::new(processes, TupleSet::new())),
+        )
     }
 
     /// Creates a verifier with an explicit snapshot implementation.
@@ -217,7 +220,10 @@ where
                 (ops.len(), first_error, witnesses)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     let mut run = VerifierRun {
@@ -272,7 +278,7 @@ mod tests {
         let deq = drv.announce(p(1), &queue::dequeue());
         let deq_value = drv.call_inner(&deq);
         let deq_resp = drv.collect(deq, deq_value);
-        assert!(verifier.observe(p(1), deq_resp.tuple()).is_ok() == false);
+        assert!(!verifier.observe(p(1), deq_resp.tuple()).is_ok());
 
         let enq = drv.apply_drv(p(0), &queue::enqueue(1));
         let outcome = verifier.observe(p(0), enq.tuple());

@@ -116,7 +116,10 @@ impl fmt::Display for ViewPropertyError {
                 write!(f, "view of {pair} does not contain the operation itself")
             }
             ViewPropertyError::Incomparable { left, right } => {
-                write!(f, "views of {left} and {right} are incomparable under containment")
+                write!(
+                    f,
+                    "views of {left} and {right} are incomparable under containment"
+                )
             }
             ViewPropertyError::ProcessSequentiality { first, second } => write!(
                 f,
@@ -195,8 +198,16 @@ mod tests {
         let a = pair(0, 0);
         let b = pair(1, 1);
         let mut tuples = TupleSet::new();
-        tuples.insert(ViewTuple::new(a.clone(), OpValue::Bool(true), view_of(&[&a])));
-        tuples.insert(ViewTuple::new(b.clone(), OpValue::Bool(true), view_of(&[&a, &b])));
+        tuples.insert(ViewTuple::new(
+            a.clone(),
+            OpValue::Bool(true),
+            view_of(&[&a]),
+        ));
+        tuples.insert(ViewTuple::new(
+            b.clone(),
+            OpValue::Bool(true),
+            view_of(&[&a, &b]),
+        ));
         assert_eq!(check_view_properties(&tuples), Ok(()));
     }
 
@@ -205,7 +216,11 @@ mod tests {
         let a = pair(0, 0);
         let b = pair(1, 1);
         let mut tuples = TupleSet::new();
-        tuples.insert(ViewTuple::new(a.clone(), OpValue::Bool(true), view_of(&[&b])));
+        tuples.insert(ViewTuple::new(
+            a.clone(),
+            OpValue::Bool(true),
+            view_of(&[&b]),
+        ));
         assert!(matches!(
             check_view_properties(&tuples),
             Err(ViewPropertyError::SelfInclusion { .. })
@@ -217,8 +232,16 @@ mod tests {
         let a = pair(0, 0);
         let b = pair(1, 1);
         let mut tuples = TupleSet::new();
-        tuples.insert(ViewTuple::new(a.clone(), OpValue::Bool(true), view_of(&[&a])));
-        tuples.insert(ViewTuple::new(b.clone(), OpValue::Bool(true), view_of(&[&b])));
+        tuples.insert(ViewTuple::new(
+            a.clone(),
+            OpValue::Bool(true),
+            view_of(&[&a]),
+        ));
+        tuples.insert(ViewTuple::new(
+            b.clone(),
+            OpValue::Bool(true),
+            view_of(&[&b]),
+        ));
         assert!(matches!(
             check_view_properties(&tuples),
             Err(ViewPropertyError::Incomparable { .. })
@@ -230,8 +253,16 @@ mod tests {
         let a = pair(0, 0);
         let b = pair(0, 1);
         let mut tuples = TupleSet::new();
-        tuples.insert(ViewTuple::new(a.clone(), OpValue::Bool(true), view_of(&[&a, &b])));
-        tuples.insert(ViewTuple::new(b.clone(), OpValue::Bool(true), view_of(&[&a, &b])));
+        tuples.insert(ViewTuple::new(
+            a.clone(),
+            OpValue::Bool(true),
+            view_of(&[&a, &b]),
+        ));
+        tuples.insert(ViewTuple::new(
+            b.clone(),
+            OpValue::Bool(true),
+            view_of(&[&a, &b]),
+        ));
         assert!(matches!(
             check_view_properties(&tuples),
             Err(ViewPropertyError::ProcessSequentiality { .. })

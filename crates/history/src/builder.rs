@@ -71,11 +71,17 @@ impl HistoryBuilder {
             .history
             .operation(id)
             .unwrap_or_else(|| panic!("respond: operation {id} was never invoked"));
-        self.history.push(Event::response(record.process, id, value));
+        self.history
+            .push(Event::response(record.process, id, value));
     }
 
     /// Appends a complete operation (invocation immediately followed by its response).
-    pub fn complete(&mut self, process: ProcessId, operation: Operation, response: OpValue) -> OpId {
+    pub fn complete(
+        &mut self,
+        process: ProcessId,
+        operation: Operation,
+        response: OpValue,
+    ) -> OpId {
         let id = self.invoke(process, operation);
         self.respond(id, response);
         id

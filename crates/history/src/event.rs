@@ -81,7 +81,9 @@ impl Event {
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
-            EventKind::Invocation { op } => write!(f, "inv[{}: {} #{}]", self.process, op, self.op_id),
+            EventKind::Invocation { op } => {
+                write!(f, "inv[{}: {} #{}]", self.process, op, self.op_id)
+            }
             EventKind::Response { value } => {
                 write!(f, "res[{}: {} #{}]", self.process, value, self.op_id)
             }

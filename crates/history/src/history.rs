@@ -96,10 +96,16 @@ impl fmt::Display for WellFormedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WellFormedError::ResponseWithoutInvocation { index, op } => {
-                write!(f, "event {index}: response to {op} without a prior invocation")
+                write!(
+                    f,
+                    "event {index}: response to {op} without a prior invocation"
+                )
             }
             WellFormedError::OverlappingInvocations { index, process } => {
-                write!(f, "event {index}: {process} invoked an operation while another was pending")
+                write!(
+                    f,
+                    "event {index}: {process} invoked an operation while another was pending"
+                )
             }
             WellFormedError::DuplicateInvocation { index, op } => {
                 write!(f, "event {index}: duplicate invocation of {op}")
@@ -108,7 +114,10 @@ impl fmt::Display for WellFormedError {
                 write!(f, "event {index}: duplicate response for {op}")
             }
             WellFormedError::ProcessMismatch { index, op } => {
-                write!(f, "event {index}: response to {op} by a different process than its invocation")
+                write!(
+                    f,
+                    "event {index}: response to {op} by a different process than its invocation"
+                )
             }
         }
     }
@@ -300,7 +309,11 @@ impl History {
     /// Two histories are *equivalent* when every process performs the same sequence of
     /// invocations and responses in both (Section 4).
     pub fn equivalent(&self, other: &History) -> bool {
-        let procs: BTreeSet<ProcessId> = self.processes().union(&other.processes()).copied().collect();
+        let procs: BTreeSet<ProcessId> = self
+            .processes()
+            .union(&other.processes())
+            .copied()
+            .collect();
         procs.iter().all(|&p| {
             let a = self.project(p);
             let b = other.project(p);
@@ -438,8 +451,16 @@ mod tests {
     fn detects_overlapping_invocations_by_one_process() {
         let p = ProcessId::new(0);
         let mut h = History::new();
-        h.push(Event::invocation(p, OpId::new(0), Operation::nullary("Pop")));
-        h.push(Event::invocation(p, OpId::new(1), Operation::nullary("Pop")));
+        h.push(Event::invocation(
+            p,
+            OpId::new(0),
+            Operation::nullary("Pop"),
+        ));
+        h.push(Event::invocation(
+            p,
+            OpId::new(1),
+            Operation::nullary("Pop"),
+        ));
         assert!(matches!(
             h.check_well_formed(),
             Err(WellFormedError::OverlappingInvocations { .. })
@@ -462,17 +483,33 @@ mod tests {
         let p = ProcessId::new(0);
         let q = ProcessId::new(1);
         let mut h = History::new();
-        h.push(Event::invocation(p, OpId::new(0), Operation::nullary("Pop")));
-        h.push(Event::invocation(q, OpId::new(0), Operation::nullary("Pop")));
+        h.push(Event::invocation(
+            p,
+            OpId::new(0),
+            Operation::nullary("Pop"),
+        ));
+        h.push(Event::invocation(
+            q,
+            OpId::new(0),
+            Operation::nullary("Pop"),
+        ));
         assert!(matches!(
             h.check_well_formed(),
             Err(WellFormedError::DuplicateInvocation { .. })
         ));
 
         let mut h = History::new();
-        h.push(Event::invocation(p, OpId::new(0), Operation::nullary("Pop")));
+        h.push(Event::invocation(
+            p,
+            OpId::new(0),
+            Operation::nullary("Pop"),
+        ));
         h.push(Event::response(p, OpId::new(0), OpValue::Empty));
-        h.push(Event::invocation(p, OpId::new(1), Operation::nullary("Pop")));
+        h.push(Event::invocation(
+            p,
+            OpId::new(1),
+            Operation::nullary("Pop"),
+        ));
         h.push(Event::response(p, OpId::new(0), OpValue::Empty));
         assert!(matches!(
             h.check_well_formed(),
@@ -485,7 +522,11 @@ mod tests {
         let p = ProcessId::new(0);
         let q = ProcessId::new(1);
         let mut h = History::new();
-        h.push(Event::invocation(p, OpId::new(0), Operation::nullary("Pop")));
+        h.push(Event::invocation(
+            p,
+            OpId::new(0),
+            Operation::nullary("Pop"),
+        ));
         h.push(Event::response(q, OpId::new(0), OpValue::Empty));
         assert!(matches!(
             h.check_well_formed(),

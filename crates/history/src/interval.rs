@@ -157,18 +157,16 @@ impl IntervalHistory {
         let mut steps: Vec<IntervalStep> = Vec::new();
         for event in history.events() {
             match &event.kind {
-                EventKind::Invocation { op } => {
-                    match steps.last_mut() {
-                        Some(IntervalStep::Invocations(invs)) => {
-                            invs.push((event.process, event.op_id, op.clone()));
-                        }
-                        _ => steps.push(IntervalStep::Invocations(vec![(
-                            event.process,
-                            event.op_id,
-                            op.clone(),
-                        )])),
+                EventKind::Invocation { op } => match steps.last_mut() {
+                    Some(IntervalStep::Invocations(invs)) => {
+                        invs.push((event.process, event.op_id, op.clone()));
                     }
-                }
+                    _ => steps.push(IntervalStep::Invocations(vec![(
+                        event.process,
+                        event.op_id,
+                        op.clone(),
+                    )])),
+                },
                 EventKind::Response { value } => match steps.last_mut() {
                     Some(IntervalStep::Responses(resps)) => {
                         resps.push((event.process, event.op_id, value.clone()));

@@ -17,7 +17,11 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Returns `true` when `a <_E b` in `history`: both operations are complete and the
 /// response of `a` precedes the invocation of `b` (Definition 4.2).
 pub fn precedes_complete(history: &History, a: OpId, b: OpId) -> bool {
-    let ops: BTreeMap<OpId, OpRecord> = history.operations().into_iter().map(|r| (r.id, r)).collect();
+    let ops: BTreeMap<OpId, OpRecord> = history
+        .operations()
+        .into_iter()
+        .map(|r| (r.id, r))
+        .collect();
     match (ops.get(&a), ops.get(&b)) {
         (Some(ra), Some(rb)) => match ra.response_index {
             Some(res_a) => ra.is_complete() && rb.is_complete() && res_a < rb.invocation_index,
@@ -30,7 +34,11 @@ pub fn precedes_complete(history: &History, a: OpId, b: OpId) -> bool {
 /// Returns `true` when `a ≺_E b` in `history`: the response of `a` precedes the
 /// invocation of `b` (Section 7.1; `b` may be pending).
 pub fn precedes_all(history: &History, a: OpId, b: OpId) -> bool {
-    let ops: BTreeMap<OpId, OpRecord> = history.operations().into_iter().map(|r| (r.id, r)).collect();
+    let ops: BTreeMap<OpId, OpRecord> = history
+        .operations()
+        .into_iter()
+        .map(|r| (r.id, r))
+        .collect();
     match (ops.get(&a), ops.get(&b)) {
         (Some(ra), Some(rb)) => match ra.response_index {
             Some(res_a) => res_a < rb.invocation_index,
@@ -82,7 +90,9 @@ impl RealTimeOrder {
             ops.insert(r.id);
         }
         for a in &records {
-            let Some(res_a) = a.response_index else { continue };
+            let Some(res_a) = a.response_index else {
+                continue;
+            };
             if kind == OrderKind::CompleteOnly && !a.is_complete() {
                 continue;
             }

@@ -107,7 +107,9 @@ pub fn apply_witness(e: &History, witness: &SimilarityWitness) -> Option<History
         return None;
     }
     let reduced = e.remove_pending(&witness.removed_invocations);
-    reduced.extend_with_responses(&witness.appended_responses).ok()
+    reduced
+        .extend_with_responses(&witness.appended_responses)
+        .ok()
 }
 
 #[cfg(test)]

@@ -66,7 +66,10 @@ impl ConcurrentObject for DuplicatingStack {
     }
 
     fn name(&self) -> String {
-        format!("duplicating stack (every {}th pop duplicates)", self.dup_every)
+        format!(
+            "duplicating stack (every {}th pop duplicates)",
+            self.dup_every
+        )
     }
 }
 

@@ -61,7 +61,10 @@ impl ConcurrentObject for StaleRegister {
     }
 
     fn name(&self) -> String {
-        format!("stale register (every {}th read is stale)", self.stale_every)
+        format!(
+            "stale register (every {}th read is stale)",
+            self.stale_every
+        )
     }
 }
 

@@ -53,7 +53,10 @@ impl ConcurrentObject for StutteringCounter {
     }
 
     fn name(&self) -> String {
-        format!("stuttering counter (loses every {}th increment)", self.lose_every)
+        format!(
+            "stuttering counter (loses every {}th increment)",
+            self.lose_every
+        )
     }
 }
 

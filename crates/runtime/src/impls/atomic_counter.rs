@@ -73,9 +73,16 @@ mod tests {
                     .collect::<Vec<_>>()
             }));
         }
-        let all: Vec<i64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let unique: BTreeSet<i64> = all.iter().copied().collect();
-        assert_eq!(unique.len(), all.len(), "two increments returned the same value");
+        assert_eq!(
+            unique.len(),
+            all.len(),
+            "two increments returned the same value"
+        );
         assert_eq!(
             c.apply(ProcessId::new(0), &ops::read()),
             OpValue::Int(all.len() as i64)

@@ -40,10 +40,13 @@ impl TreiberStack {
         loop {
             let head = self.head.load(Ordering::Acquire, &guard);
             node.next.store(head, Ordering::Relaxed);
-            match self
-                .head
-                .compare_exchange(head, node, Ordering::AcqRel, Ordering::Acquire, &guard)
-            {
+            match self.head.compare_exchange(
+                head,
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
                 Ok(_) => return,
                 Err(e) => node = e.new,
             }
@@ -156,14 +159,21 @@ mod tests {
                 popped
             }));
         }
-        let mut all: Vec<i64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         // Drain what is left on the stack.
         let p = ProcessId::new(0);
         while let OpValue::Int(v) = s.apply(p, &ops::pop()) {
             all.push(v);
         }
         let unique: BTreeSet<i64> = all.iter().copied().collect();
-        assert_eq!(all.len() as i64, threads * per_thread, "an element was lost or duplicated");
+        assert_eq!(
+            all.len() as i64,
+            threads * per_thread,
+            "an element was lost or duplicated"
+        );
         assert_eq!(unique.len() as i64, threads * per_thread);
     }
 }

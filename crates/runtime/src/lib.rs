@@ -31,5 +31,5 @@ pub mod recorder;
 pub mod workload;
 
 pub use object::ConcurrentObject;
-pub use recorder::{record_execution, RecorderOptions, RecordedExecution};
+pub use recorder::{record_execution, RecordedExecution, RecorderOptions};
 pub use workload::{Workload, WorkloadKind};

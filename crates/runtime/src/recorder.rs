@@ -107,7 +107,10 @@ pub fn record_execution(
                 ops.len()
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
     });
     let duration = started.elapsed();
     let history = History::from_events(log.events.into_inner());

@@ -146,9 +146,8 @@ mod tests {
         let w = Workload::new(WorkloadKind::Stack, 7);
         let a = w.operations_for(0, 50);
         let b = w.operations_for(1, 50);
-        let values = |ops: &[Operation]| -> Vec<i64> {
-            ops.iter().filter_map(|o| o.arg.as_int()).collect()
-        };
+        let values =
+            |ops: &[Operation]| -> Vec<i64> { ops.iter().filter_map(|o| o.arg.as_int()).collect() };
         for v in values(&a) {
             assert!(!values(&b).contains(&v));
         }

@@ -62,10 +62,7 @@ impl<T: Clone + Send + Sync> Snapshot<T> for DoubleCollectSnapshot<T> {
         loop {
             let first = self.collect();
             let second = self.collect();
-            let clean = first
-                .iter()
-                .zip(&second)
-                .all(|(a, b)| a.seq == b.seq);
+            let clean = first.iter().zip(&second).all(|(a, b)| a.seq == b.seq);
             if clean {
                 return second.iter().map(|e| e.value.clone()).collect();
             }

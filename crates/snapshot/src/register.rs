@@ -67,7 +67,9 @@ impl<T> AtomicRegister<T> {
 impl<T> Drop for AtomicRegister<T> {
     fn drop(&mut self) {
         let guard = epoch::pin();
-        let current = self.cell.swap(epoch::Shared::null(), Ordering::AcqRel, &guard);
+        let current = self
+            .cell
+            .swap(epoch::Shared::null(), Ordering::AcqRel, &guard);
         if !current.is_null() {
             // SAFETY: the register is being dropped, so no other thread holds a
             // reference to it; the current pointer can be retired.

@@ -36,10 +36,14 @@ impl SequentialSpec for ConsensusSpec {
     ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
         match operation.kind.as_str() {
             "Decide" => {
-                let proposal = operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
-                    operation: operation.kind.clone(),
-                    reason: "expected an integer proposal".into(),
-                })?;
+                let proposal =
+                    operation
+                        .arg
+                        .as_int()
+                        .ok_or_else(|| SpecError::InvalidArgument {
+                            operation: operation.kind.clone(),
+                            reason: "expected an integer proposal".into(),
+                        })?;
                 match state {
                     None => Ok(vec![(Some(proposal), OpValue::Int(proposal))]),
                     Some(decided) => Ok(vec![(Some(*decided), OpValue::Int(*decided))]),
@@ -72,8 +76,12 @@ mod tests {
         // input". The sequential spec itself enforces validity.
         let spec = ConsensusSpec::new();
         let s0 = spec.initial_state();
-        assert!(spec.accepts(&s0, &ops::decide(3), &OpValue::Int(5)).is_none());
-        assert!(spec.accepts(&s0, &ops::decide(3), &OpValue::Int(3)).is_some());
+        assert!(spec
+            .accepts(&s0, &ops::decide(3), &OpValue::Int(5))
+            .is_none());
+        assert!(spec
+            .accepts(&s0, &ops::decide(3), &OpValue::Int(3))
+            .is_some());
     }
 
     #[test]

@@ -37,10 +37,13 @@ impl SequentialSpec for PriorityQueueSpec {
     ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
         match operation.kind.as_str() {
             "Insert" => {
-                let v = operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
-                    operation: operation.kind.clone(),
-                    reason: "expected an integer argument".into(),
-                })?;
+                let v = operation
+                    .arg
+                    .as_int()
+                    .ok_or_else(|| SpecError::InvalidArgument {
+                        operation: operation.kind.clone(),
+                        reason: "expected an integer argument".into(),
+                    })?;
                 let mut next = state.clone();
                 *next.entry(v).or_insert(0) += 1;
                 Ok(vec![(next, OpValue::Bool(true))])

@@ -40,10 +40,13 @@ impl SequentialSpec for QueueSpec {
     ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
         match operation.kind.as_str() {
             "Enqueue" => {
-                let v = operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
-                    operation: operation.kind.clone(),
-                    reason: "expected an integer argument".into(),
-                })?;
+                let v = operation
+                    .arg
+                    .as_int()
+                    .ok_or_else(|| SpecError::InvalidArgument {
+                        operation: operation.kind.clone(),
+                        reason: "expected an integer argument".into(),
+                    })?;
                 let mut next = state.clone();
                 next.push_back(v);
                 Ok(vec![(next, OpValue::Bool(true))])
@@ -109,9 +112,15 @@ mod tests {
     fn accepts_matches_step() {
         let spec = QueueSpec::new();
         let s0 = spec.initial_state();
-        assert!(spec.accepts(&s0, &ops::enqueue(1), &OpValue::Bool(true)).is_some());
-        assert!(spec.accepts(&s0, &ops::dequeue(), &OpValue::Int(1)).is_none());
-        assert!(spec.accepts(&s0, &ops::dequeue(), &OpValue::Empty).is_some());
+        assert!(spec
+            .accepts(&s0, &ops::enqueue(1), &OpValue::Bool(true))
+            .is_some());
+        assert!(spec
+            .accepts(&s0, &ops::dequeue(), &OpValue::Int(1))
+            .is_none());
+        assert!(spec
+            .accepts(&s0, &ops::dequeue(), &OpValue::Empty)
+            .is_some());
     }
 
     #[test]

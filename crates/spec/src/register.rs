@@ -35,10 +35,13 @@ impl SequentialSpec for RegisterSpec {
     ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
         match operation.kind.as_str() {
             "Write" => {
-                let v = operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
-                    operation: operation.kind.clone(),
-                    reason: "expected an integer argument".into(),
-                })?;
+                let v = operation
+                    .arg
+                    .as_int()
+                    .ok_or_else(|| SpecError::InvalidArgument {
+                        operation: operation.kind.clone(),
+                        reason: "expected an integer argument".into(),
+                    })?;
                 Ok(vec![(v, OpValue::Bool(true))])
             }
             "Read" => Ok(vec![(*state, OpValue::Int(*state))]),

@@ -19,10 +19,13 @@ impl SetSpec {
     }
 
     fn int_arg(operation: &Operation) -> Result<i64, SpecError> {
-        operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
-            operation: operation.kind.clone(),
-            reason: "expected an integer argument".into(),
-        })
+        operation
+            .arg
+            .as_int()
+            .ok_or_else(|| SpecError::InvalidArgument {
+                operation: operation.kind.clone(),
+                reason: "expected an integer argument".into(),
+            })
     }
 }
 
@@ -88,7 +91,11 @@ mod tests {
     #[test]
     fn unknown_and_invalid_operations() {
         let spec = SetSpec::new();
-        assert!(spec.step(&spec.initial_state(), &Operation::nullary("Pop")).is_err());
-        assert!(spec.step(&spec.initial_state(), &Operation::nullary("Add")).is_err());
+        assert!(spec
+            .step(&spec.initial_state(), &Operation::nullary("Pop"))
+            .is_err());
+        assert!(spec
+            .step(&spec.initial_state(), &Operation::nullary("Add"))
+            .is_err());
     }
 }

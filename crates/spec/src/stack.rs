@@ -38,10 +38,13 @@ impl SequentialSpec for StackSpec {
     ) -> Result<Vec<(Self::State, OpValue)>, SpecError> {
         match operation.kind.as_str() {
             "Push" => {
-                let v = operation.arg.as_int().ok_or_else(|| SpecError::InvalidArgument {
-                    operation: operation.kind.clone(),
-                    reason: "expected an integer argument".into(),
-                })?;
+                let v = operation
+                    .arg
+                    .as_int()
+                    .ok_or_else(|| SpecError::InvalidArgument {
+                        operation: operation.kind.clone(),
+                        reason: "expected an integer argument".into(),
+                    })?;
                 let mut next = state.clone();
                 next.push(v);
                 Ok(vec![(next, OpValue::Bool(true))])

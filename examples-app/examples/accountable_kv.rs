@@ -41,7 +41,11 @@ fn run_client<A: linrv_runtime::ConcurrentObject>(
     println!(
         "  certificate: {} ops, verdict = {}",
         certificate.operations(),
-        if certificate.is_correct() { "CORRECT" } else { "VIOLATION" }
+        if certificate.is_correct() {
+            "CORRECT"
+        } else {
+            "VIOLATION"
+        }
     );
     if flagged > 0 {
         println!("  forensic witness (sketch history of the violating run):");

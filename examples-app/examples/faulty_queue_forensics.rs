@@ -20,7 +20,10 @@ use linrv_spec::QueueSpec;
 use std::sync::Arc;
 
 fn main() {
-    println!("{}", linrv_examples::banner("work queue with background verification"));
+    println!(
+        "{}",
+        linrv_examples::banner("work queue with background verification")
+    );
 
     // The work queue silently drops every 5th job — a realistic "lost wakeup" bug.
     let (producer, verifier) = decoupled(LossyQueue::new(5), LinSpec::new(QueueSpec::new()), 2);
@@ -60,7 +63,10 @@ fn main() {
     });
 
     println!("submitted {submitted} jobs, workers completed {completed}");
-    assert!(completed < submitted, "the lossy queue should have lost jobs");
+    assert!(
+        completed < submitted,
+        "the lossy queue should have lost jobs"
+    );
 
     // The background verifier (here run after the fact; in production it would run
     // continuously) detects that the published history is not linearizable.

@@ -41,7 +41,10 @@ fn figure1() {
     b.respond(push, OpValue::Bool(true));
     let bottom = b.build();
     println!("{}", render_timeline(&bottom));
-    println!("bottom history linearizable? {}", stack_obj.contains(&bottom));
+    println!(
+        "bottom history linearizable? {}",
+        stack_obj.contains(&bottom)
+    );
     assert!(!stack_obj.contains(&bottom));
     println!("same per-process views, different verdicts: real time decides.\n");
 }
@@ -76,14 +79,20 @@ fn figure3() {
     b.respond(pop1, OpValue::Int(1));
     let bottom = b.build();
     println!("{}", render_timeline(&bottom));
-    println!("bottom history linearizable? {}", stack_obj.contains(&bottom));
+    println!(
+        "bottom history linearizable? {}",
+        stack_obj.contains(&bottom)
+    );
     assert!(!stack_obj.contains(&bottom));
     println!("the stack cannot be empty when Pop():empty starts.\n");
 }
 
 /// Figures 5, 6 and 8: stretching, shrinking and enforcement via the DRV transform.
 fn figures_5_6_8() {
-    println!("{}", linrv_examples::banner("Figures 5, 6, 8: the DRV transform at work"));
+    println!(
+        "{}",
+        linrv_examples::banner("Figures 5, 6, 8: the DRV transform at work")
+    );
     let queue_obj = LinSpec::new(QueueSpec::new());
 
     // Long delays between announce and the actual call (Figure 5 bottom / Figure 8):
@@ -99,7 +108,10 @@ fn figures_5_6_8() {
     let sketch = sketch_history(&tuples).unwrap();
     println!("sketch when announcements precede both calls (operations overlap):");
     println!("{}", render_timeline(&sketch));
-    println!("sketch linearizable? {} — A* enforced correctness\n", queue_obj.contains(&sketch));
+    println!(
+        "sketch linearizable? {} — A* enforced correctness\n",
+        queue_obj.contains(&sketch)
+    );
     assert!(queue_obj.contains(&sketch));
 
     // Tight interleaving (Figure 6 bottom): the violation survives into the sketch.
@@ -126,7 +138,10 @@ fn figures_5_6_8() {
 
 /// Figure 9: reconstructing a history from views.
 fn figure9() {
-    println!("{}", linrv_examples::banner("Figure 9: from views to histories"));
+    println!(
+        "{}",
+        linrv_examples::banner("Figure 9: from views to histories")
+    );
     use linrv_core::view::{InvocationPair, ViewTuple};
     use linrv_history::{OpId, Operation};
 
@@ -140,10 +155,12 @@ fn figure9() {
     let op2 = pair(1, 2, 3);
     let op3 = pair(2, 3, 4);
     let view: linrv_core::view::View = [op1.clone()].into_iter().collect();
-    let view_p: linrv_core::view::View =
-        [op1.clone(), op1b.clone(), op2.clone()].into_iter().collect();
-    let view_pp: linrv_core::view::View =
-        [op1.clone(), op1b.clone(), op2.clone(), op3.clone()].into_iter().collect();
+    let view_p: linrv_core::view::View = [op1.clone(), op1b.clone(), op2.clone()]
+        .into_iter()
+        .collect();
+    let view_pp: linrv_core::view::View = [op1.clone(), op1b.clone(), op2.clone(), op3.clone()]
+        .into_iter()
+        .collect();
 
     let mut tuples = TupleSet::new();
     tuples.insert(ViewTuple::new(op1, OpValue::Str("a".into()), view));

@@ -8,7 +8,10 @@ use linrv_core::impossibility::theorem51_demo;
 use linrv_history::display::render_timeline;
 
 fn main() {
-    println!("{}", linrv_examples::banner("Theorem 5.1: linearizability is not runtime verifiable"));
+    println!(
+        "{}",
+        linrv_examples::banner("Theorem 5.1: linearizability is not runtime verifiable")
+    );
     let demo = theorem51_demo();
 
     println!("\nExecution E — p2's Dequeue():1 completes before p1's Enqueue(1) starts:");
@@ -26,7 +29,10 @@ fn main() {
     println!("  detected history (read from shared memory):");
     println!("{}", render_timeline(&demo.observations_e[0].detected));
 
-    println!("indistinguishable to every process? {}", demo.executions_are_indistinguishable());
+    println!(
+        "indistinguishable to every process? {}",
+        demo.executions_are_indistinguishable()
+    );
     println!();
     println!("A sound verifier must stay silent in F; a complete verifier must report ERROR in E;");
     println!("since no process can tell E and F apart, no wait-free verifier can do both —");

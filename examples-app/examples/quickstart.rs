@@ -14,7 +14,10 @@ use linrv_spec::QueueSpec;
 use std::sync::Arc;
 
 fn main() {
-    println!("{}", linrv_examples::banner("quickstart: self-enforced queue"));
+    println!(
+        "{}",
+        linrv_examples::banner("quickstart: self-enforced queue")
+    );
 
     let processes = 3;
     let ops_per_process = 40;
@@ -59,7 +62,11 @@ fn main() {
     println!(
         "certificate: {} operations covered, verdict = {}",
         certificate.operations(),
-        if certificate.is_correct() { "CORRECT" } else { "VIOLATION" }
+        if certificate.is_correct() {
+            "CORRECT"
+        } else {
+            "VIOLATION"
+        }
     );
     assert!(certificate.is_correct());
     println!("first lines of the certified sketch history:");

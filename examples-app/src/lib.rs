@@ -15,7 +15,10 @@
 
 /// Formats a banner line used by the examples' output.
 pub fn banner(title: &str) -> String {
-    format!("==== {title} {}", "=".repeat(60usize.saturating_sub(title.len())))
+    format!(
+        "==== {title} {}",
+        "=".repeat(60usize.saturating_sub(title.len()))
+    )
 }
 
 #[cfg(test)]

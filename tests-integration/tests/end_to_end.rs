@@ -3,9 +3,9 @@
 
 use linrv_check::{GenLinObject, LinSpec};
 use linrv_core::decoupled::decoupled;
+use linrv_core::drv::Drv;
 use linrv_core::enforce::SelfEnforced;
 use linrv_core::verifier::{run_verified, Verifier};
-use linrv_core::drv::Drv;
 use linrv_history::{OpValue, ProcessId};
 use linrv_runtime::faulty::{DuplicatingStack, LossyQueue, StutteringCounter};
 use linrv_runtime::impls::{AtomicCounter, CasConsensus, MsQueue, SpecObject, TreiberStack};
@@ -41,12 +41,20 @@ fn self_enforced_correct_objects_never_error() {
     // Counter.
     let counter = SelfEnforced::new(AtomicCounter::new(), LinSpec::new(CounterSpec::new()), 2);
     for _ in 0..10 {
-        assert!(counter.apply_verified(p(0), &ops::counter::inc()).is_verified());
-        assert!(counter.apply_verified(p(1), &ops::counter::read()).is_verified());
+        assert!(counter
+            .apply_verified(p(0), &ops::counter::inc())
+            .is_verified());
+        assert!(counter
+            .apply_verified(p(1), &ops::counter::read())
+            .is_verified());
     }
 
     // Set (lock-based universal construction).
-    let set = SelfEnforced::new(SpecObject::new(SetSpec::new()), LinSpec::new(SetSpec::new()), 2);
+    let set = SelfEnforced::new(
+        SpecObject::new(SetSpec::new()),
+        LinSpec::new(SetSpec::new()),
+        2,
+    );
     let workload = Workload::new(WorkloadKind::Set, 103);
     for (i, op) in workload.operations_for(0, 30).iter().enumerate() {
         assert!(set.apply_verified(p((i % 2) as u32), op).is_verified());
@@ -68,7 +76,12 @@ fn self_enforced_correct_objects_never_error() {
 /// ERROR together with a witness for `A*`, and the certificate records the violation.
 #[test]
 fn self_enforced_faulty_objects_eventually_error_with_witnesses() {
-    let cases: Vec<(Box<dyn ConcurrentObject>, Box<dyn GenLinObject>, WorkloadKind)> = vec![
+    type FaultyCase = (
+        Box<dyn ConcurrentObject>,
+        Box<dyn GenLinObject>,
+        WorkloadKind,
+    );
+    let cases: Vec<FaultyCase> = vec![
         (
             Box::new(LossyQueue::new(3)),
             Box::new(LinSpec::new(QueueSpec::new())),
@@ -99,7 +112,10 @@ fn self_enforced_faulty_objects_eventually_error_with_witnesses() {
             }
         }
         assert!(saw_error, "{name}: violation never reported");
-        assert!(!enforced.certificate().is_correct(), "{name}: certificate must record the violation");
+        assert!(
+            !enforced.certificate().is_correct(),
+            "{name}: certificate must record the violation"
+        );
     }
 }
 
@@ -146,7 +162,7 @@ fn verifier_full_loop_concurrent_soundness_and_sequential_completeness() {
     let drv = Drv::new(LossyQueue::new(2), 1);
     let verifier = Verifier::new(LinSpec::new(QueueSpec::new()), 1);
     let ops: Vec<_> = (0..8)
-        .map(|i| ops::queue::enqueue(i))
+        .map(ops::queue::enqueue)
         .chain((0..8).map(|_| ops::queue::dequeue()))
         .collect();
     let run = run_verified(&drv, &verifier, |_| ops.clone());
@@ -163,7 +179,10 @@ fn decoupled_roles_split_production_and_verification() {
     let (producer, verifier) = decoupled(MsQueue::new(), LinSpec::new(QueueSpec::new()), 2);
     producer.apply(p(0), &ops::queue::enqueue(1));
     producer.apply(p(1), &ops::queue::enqueue(2));
-    assert_eq!(producer.apply(p(0), &ops::queue::dequeue()), OpValue::Int(1));
+    assert_eq!(
+        producer.apply(p(0), &ops::queue::dequeue()),
+        OpValue::Int(1)
+    );
     assert!(verifier.check_once().is_ok());
 
     let (producer, verifier) = decoupled(LossyQueue::new(2), LinSpec::new(QueueSpec::new()), 1);
@@ -171,11 +190,8 @@ fn decoupled_roles_split_production_and_verification() {
         producer.apply(p(0), &ops::queue::enqueue(i));
     }
     let mut drained = 0;
-    loop {
-        match producer.apply(p(0), &ops::queue::dequeue()) {
-            OpValue::Int(_) => drained += 1,
-            _ => break,
-        }
+    while let OpValue::Int(_) = producer.apply(p(0), &ops::queue::dequeue()) {
+        drained += 1;
     }
     assert!(drained < 8);
     assert!(!verifier.check_once().is_ok());
@@ -197,8 +213,12 @@ fn verifier_is_generic_over_the_snapshot_implementation() {
         announcements,
         results,
     );
-    assert!(enforced.apply_verified(p(0), &ops::queue::enqueue(9)).is_verified());
-    assert!(enforced.apply_verified(p(1), &ops::queue::dequeue()).is_verified());
+    assert!(enforced
+        .apply_verified(p(0), &ops::queue::enqueue(9))
+        .is_verified());
+    assert!(enforced
+        .apply_verified(p(1), &ops::queue::dequeue())
+        .is_verified());
     assert!(enforced.certificate().is_correct());
 }
 

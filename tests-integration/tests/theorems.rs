@@ -43,10 +43,14 @@ fn theorem_8_2_progress_is_preserved_in_solo_runs() {
     // snapshot and verifier code means it terminates.
     let enforced = SelfEnforced::new(MsQueue::new(), LinSpec::new(QueueSpec::new()), 4);
     for i in 0..25 {
-        assert!(enforced.apply_verified(p(0), &queue::enqueue(i)).is_verified());
+        assert!(enforced
+            .apply_verified(p(0), &queue::enqueue(i))
+            .is_verified());
     }
     for _ in 0..25 {
-        assert!(enforced.apply_verified(p(0), &queue::dequeue()).is_verified());
+        assert!(enforced
+            .apply_verified(p(0), &queue::dequeue())
+            .is_verified());
     }
     assert!(enforced.certificate().is_correct());
 }
@@ -102,7 +106,10 @@ fn theorem_8_2_certificates_are_independently_checkable() {
     assert_eq!(certificate.operations(), 3);
     // Third-party re-check: rebuild the verdict from the certificate alone.
     let third_party = LinSpec::new(QueueSpec::new());
-    assert_eq!(third_party.contains(&certificate.sketch), certificate.is_correct());
+    assert_eq!(
+        third_party.contains(&certificate.sketch),
+        certificate.is_correct()
+    );
 }
 
 /// Remark 7.1: a history is linearizable w.r.t. the sequential object iff it belongs to

@@ -1,0 +1,323 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the benchmarking API surface used by `crates/bench`: groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` / `iter_batched`,
+//! and the `criterion_group!` / `criterion_main!` macros. Instead of the real
+//! crate's statistical machinery, every benchmark runs `sample_size`
+//! iterations and prints the mean wall time per iteration.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver. Configuration setters mirror the builder style of the
+/// real crate.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget per benchmark (upper bound in this stub).
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API parity; ignored by this stub).
+    pub fn warm_up_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self.sample_size, self.measurement_time, &id.to_string(), f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    /// Group-scoped override; later groups fall back to the `Criterion` value.
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(samples, self.criterion.measurement_time, &label, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Overrides the sample size for the rest of this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Finishes the group (a no-op in this stub, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id for `function` at parameter value `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{}", self.function, p),
+            (false, None) => write!(f, "{}", self.function),
+            (true, Some(p)) => write!(f, "{p}"),
+            (true, None) => Ok(()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// Hint for `iter_batched` about per-iteration input size (ignored here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation in the real crate.
+    SmallInput,
+    /// Large inputs: one per batch in the real crate.
+    LargeInput,
+    /// Inputs of a caller-chosen batch size.
+    NumBatches(u64),
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    deadline: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations. The clock is
+    /// only read every 64 iterations (for the deadline check) and once at the
+    /// end, so per-iteration timing overhead stays out of the reported mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let mut done = 0u64;
+        while done < self.iterations {
+            black_box(routine());
+            done += 1;
+            if done.is_multiple_of(64) && start.elapsed() >= self.deadline {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = done;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the routine
+    /// would be timed in the real crate, and this stub keeps that contract.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.elapsed = Duration::ZERO;
+        let mut timed = Duration::ZERO;
+        let start = Instant::now();
+        for done in 0..self.iterations {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            timed += t0.elapsed();
+            if start.elapsed() >= self.deadline && done > 0 {
+                self.iterations = done + 1;
+                break;
+            }
+        }
+        self.elapsed = timed;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    samples: usize,
+    deadline: Duration,
+    label: &str,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iterations: samples as u64,
+        elapsed: Duration::ZERO,
+        deadline,
+    };
+    f(&mut bencher);
+    let mean = if bencher.iterations > 0 {
+        bencher.elapsed / bencher.iterations as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "bench: {label:<60} {mean:>12?}/iter ({} iters)",
+        bencher.iterations
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring the two forms of the
+/// real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_iterations() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn iter_batched_feeds_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut seen = Vec::new();
+        c.bench_function("batched", |b| {
+            let mut n = 0;
+            seen.clear();
+            b.iter_batched(
+                || {
+                    n += 1;
+                    n
+                },
+                |input| seen.push(input),
+                BatchSize::SmallInput,
+            );
+        });
+        assert_eq!(seen, (1..=seen.len() as i32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,390 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`).
+//!
+//! Only the `epoch` module is provided, with the API surface the lock-free
+//! structures in `linrv-runtime` use. The one behavioural deviation:
+//! [`epoch::Guard::defer_destroy`] intentionally *leaks* the retired node
+//! instead of reclaiming it. That is memory-safe under any interleaving
+//! (nothing is ever freed while a reference can exist) at the cost of
+//! unbounded retirement — acceptable for tests and short benchmark runs.
+
+pub mod epoch {
+    //! Epoch-shaped pointer types over plain atomics, with leak-based
+    //! "reclamation".
+
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::atomic::{AtomicPtr, Ordering};
+
+    /// A guard that in the real crate pins the current epoch. Here it only
+    /// scopes the lifetime of [`Shared`] pointers.
+    #[derive(Debug)]
+    pub struct Guard {
+        _private: (),
+    }
+
+    /// Pins the "epoch", returning a guard that [`Shared`] loads borrow from.
+    pub fn pin() -> Guard {
+        Guard { _private: () }
+    }
+
+    /// Returns a guard usable without pinning.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee exclusive access to the data structure (e.g.
+    /// inside `new` before sharing, or inside `Drop`), as the returned guard
+    /// provides no protection against concurrent reclamation.
+    pub unsafe fn unprotected() -> &'static Guard {
+        static UNPROTECTED: Guard = Guard { _private: () };
+        &UNPROTECTED
+    }
+
+    impl Guard {
+        /// Retires the node behind `ptr`.
+        ///
+        /// Stub behaviour: the node is leaked rather than destroyed, which is
+        /// trivially safe (see the crate docs for the trade-off).
+        ///
+        /// # Safety
+        ///
+        /// As in the real crate: `ptr` must have been unlinked from the data
+        /// structure so no thread can acquire a *new* reference to it.
+        pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+            let _ = ptr;
+        }
+    }
+
+    /// Types that can be converted into a raw pointer and back; implemented by
+    /// [`Owned`] and [`Shared`].
+    pub trait Pointer<T> {
+        /// Consumes the pointer, returning its raw address.
+        fn into_ptr(self) -> *mut T;
+
+        /// Rebuilds the pointer from a raw address.
+        ///
+        /// # Safety
+        ///
+        /// `raw` must have originated from `into_ptr` of the same impl.
+        unsafe fn from_ptr(raw: *mut T) -> Self;
+    }
+
+    /// An owned, heap-allocated node (a `Box` in disguise).
+    pub struct Owned<T> {
+        raw: *mut T,
+    }
+
+    impl<T> Owned<T> {
+        /// Allocates `value` on the heap.
+        pub fn new(value: T) -> Self {
+            Owned {
+                raw: Box::into_raw(Box::new(value)),
+            }
+        }
+
+        /// Converts the owned node into a [`Shared`] tied to `_guard`,
+        /// relinquishing ownership to the data structure.
+        pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+            Shared {
+                raw: self.into_ptr(),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> Drop for Owned<T> {
+        fn drop(&mut self) {
+            // SAFETY: an `Owned` uniquely owns its allocation; it is only
+            // dropped when it was never converted into a `Shared`.
+            unsafe { drop(Box::from_raw(self.raw)) }
+        }
+    }
+
+    impl<T> Deref for Owned<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            // SAFETY: `raw` is a live, uniquely owned allocation.
+            unsafe { &*self.raw }
+        }
+    }
+
+    impl<T> DerefMut for Owned<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: `raw` is a live, uniquely owned allocation.
+            unsafe { &mut *self.raw }
+        }
+    }
+
+    impl<T> Pointer<T> for Owned<T> {
+        fn into_ptr(self) -> *mut T {
+            let raw = self.raw;
+            std::mem::forget(self);
+            raw
+        }
+
+        unsafe fn from_ptr(raw: *mut T) -> Self {
+            Owned { raw }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Owned<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("Owned").field(&**self).finish()
+        }
+    }
+
+    /// A pointer to a node that is (possibly) shared with other threads, valid
+    /// for the lifetime of the guard it was loaded under.
+    pub struct Shared<'g, T> {
+        raw: *mut T,
+        _marker: PhantomData<&'g T>,
+    }
+
+    impl<T> Clone for Shared<'_, T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Shared<'_, T> {}
+
+    impl<T> PartialEq for Shared<'_, T> {
+        fn eq(&self, other: &Self) -> bool {
+            std::ptr::eq(self.raw, other.raw)
+        }
+    }
+
+    impl<T> Eq for Shared<'_, T> {}
+
+    impl<'g, T> Shared<'g, T> {
+        /// The null pointer.
+        pub fn null() -> Self {
+            Shared {
+                raw: std::ptr::null_mut(),
+                _marker: PhantomData,
+            }
+        }
+
+        /// Whether this pointer is null.
+        pub fn is_null(&self) -> bool {
+            self.raw.is_null()
+        }
+
+        /// Dereferences the pointer.
+        ///
+        /// # Safety
+        ///
+        /// The pointer must be non-null and the node must not have been
+        /// destroyed (guaranteed here while its guard is alive, since the stub
+        /// never destroys retired nodes).
+        pub unsafe fn deref(&self) -> &'g T {
+            &*self.raw
+        }
+
+        /// Converts to a reference, returning `None` for null.
+        ///
+        /// # Safety
+        ///
+        /// As for [`Shared::deref`], for non-null pointers.
+        pub unsafe fn as_ref(&self) -> Option<&'g T> {
+            self.raw.as_ref()
+        }
+
+        /// Takes back ownership of the node.
+        ///
+        /// # Safety
+        ///
+        /// The caller must be the unique owner of the node (e.g. during
+        /// `Drop` of the whole data structure).
+        pub unsafe fn into_owned(self) -> Owned<T> {
+            debug_assert!(!self.raw.is_null());
+            Owned { raw: self.raw }
+        }
+    }
+
+    impl<T> Pointer<T> for Shared<'_, T> {
+        fn into_ptr(self) -> *mut T {
+            self.raw
+        }
+
+        unsafe fn from_ptr(raw: *mut T) -> Self {
+            Shared {
+                raw,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Shared<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("Shared").field(&self.raw).finish()
+        }
+    }
+
+    /// The error of a failed [`Atomic::compare_exchange`].
+    pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+        /// The value the atomic actually held.
+        pub current: Shared<'g, T>,
+        /// The proposed new pointer, returned to the caller.
+        pub new: P,
+    }
+
+    /// An atomic pointer to a node.
+    pub struct Atomic<T> {
+        raw: AtomicPtr<T>,
+        // Suppress the auto Send/Sync that AtomicPtr alone would grant: any
+        // thread holding the Atomic may deref or drop a T through it, so the
+        // explicit impls below require T: Send + Sync like real crossbeam.
+        _marker: PhantomData<*mut T>,
+    }
+
+    unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+    unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+    impl<T> Atomic<T> {
+        /// Creates a null atomic pointer.
+        pub fn null() -> Self {
+            Atomic {
+                raw: AtomicPtr::new(std::ptr::null_mut()),
+                _marker: PhantomData,
+            }
+        }
+
+        /// Allocates `value` and stores a pointer to it.
+        pub fn new(value: T) -> Self {
+            Atomic {
+                raw: AtomicPtr::new(Box::into_raw(Box::new(value))),
+                _marker: PhantomData,
+            }
+        }
+
+        /// Loads the pointer under `_guard`.
+        pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+            Shared {
+                raw: self.raw.load(ord),
+                _marker: PhantomData,
+            }
+        }
+
+        /// Stores `new` into the atomic.
+        pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+            self.raw.store(new.into_ptr(), ord);
+        }
+
+        /// Atomically replaces the pointer with `new`, returning the previous
+        /// value under `_guard`.
+        pub fn swap<'g, P: Pointer<T>>(
+            &self,
+            new: P,
+            ord: Ordering,
+            _guard: &'g Guard,
+        ) -> Shared<'g, T> {
+            Shared {
+                raw: self.raw.swap(new.into_ptr(), ord),
+                _marker: PhantomData,
+            }
+        }
+
+        /// Compare-and-exchanges `current` for `new`, returning the witnessed
+        /// value and the unconsumed `new` pointer on failure.
+        pub fn compare_exchange<'g, P: Pointer<T>>(
+            &self,
+            current: Shared<'_, T>,
+            new: P,
+            success: Ordering,
+            failure: Ordering,
+            _guard: &'g Guard,
+        ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+            let new_raw = new.into_ptr();
+            match self
+                .raw
+                .compare_exchange(current.into_ptr(), new_raw, success, failure)
+            {
+                Ok(prev) => Ok(Shared {
+                    raw: prev,
+                    _marker: PhantomData,
+                }),
+                Err(witnessed) => Err(CompareExchangeError {
+                    current: Shared {
+                        raw: witnessed,
+                        _marker: PhantomData,
+                    },
+                    // SAFETY: `new_raw` came from `new.into_ptr()` just above.
+                    new: unsafe { P::from_ptr(new_raw) },
+                }),
+            }
+        }
+    }
+
+    impl<T> From<Shared<'_, T>> for Atomic<T> {
+        fn from(shared: Shared<'_, T>) -> Self {
+            Atomic {
+                raw: AtomicPtr::new(shared.into_ptr()),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> Default for Atomic<T> {
+        fn default() -> Self {
+            Atomic::null()
+        }
+    }
+
+    impl<T> fmt::Debug for Atomic<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("Atomic")
+                .field(&self.raw.load(Ordering::Relaxed))
+                .finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::epoch::{self, Atomic, Owned};
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn cas_swings_pointer_and_returns_owned_on_failure() {
+        let guard = epoch::pin();
+        let slot: Atomic<i32> = Atomic::null();
+        let first = Owned::new(1);
+        assert!(slot
+            .compare_exchange(
+                epoch::Shared::null(),
+                first,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            )
+            .is_ok());
+        let current = slot.load(Ordering::Acquire, &guard);
+        // A CAS expecting null must now fail and hand the Owned back.
+        let err = slot
+            .compare_exchange(
+                epoch::Shared::null(),
+                Owned::new(2),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            )
+            .unwrap_err();
+        assert_eq!(*err.new, 2);
+        assert_eq!(err.current, current);
+        // SAFETY: single-threaded test owns the structure.
+        assert_eq!(*unsafe { current.deref() }, 1);
+        unsafe { drop(current.into_owned()) };
+    }
+
+    #[test]
+    fn owned_round_trip_through_shared() {
+        let guard = epoch::pin();
+        let shared = Owned::new(7).into_shared(&guard);
+        assert!(!shared.is_null());
+        // SAFETY: never retired in this test.
+        assert_eq!(unsafe { shared.as_ref() }, Some(&7));
+        unsafe { drop(shared.into_owned()) };
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! `Serialize` and `Deserialize` are blanket-implemented marker traits: every
+//! type satisfies them, and the re-exported derives expand to nothing. This
+//! keeps `#[derive(Serialize, Deserialize)]` and `T: Serialize` bounds
+//! compiling without a serialisation backend.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

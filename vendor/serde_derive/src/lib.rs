@@ -1,0 +1,20 @@
+//! Offline no-op stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; here those traits
+//! are blanket-implemented markers (see the `serde` stub), so the derives can
+//! simply expand to nothing while keeping `#[derive(Serialize, Deserialize)]`
+//! attributes compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
