@@ -1,0 +1,64 @@
+//! Facade satellite: the typed session layer must be zero-cost (within noise)
+//! over the raw untyped API. Both sides run the identical counter workload —
+//! 8 verified fetch-and-increments on a fresh instance per batch — so the only
+//! difference between the two measurements is the facade itself (typed
+//! encode/decode plus the session indirection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linrv::history::ProcessId;
+use linrv::prelude::*;
+use linrv::raw::{LinSpec, SelfEnforced};
+use linrv::runtime::impls::AtomicCounter;
+use linrv::spec::ops::counter;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_facade_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E16_facade_overhead_counter");
+    let p0 = ProcessId::new(0);
+
+    group.bench_function("raw_apply_verified", |b| {
+        b.iter_batched(
+            || SelfEnforced::new(AtomicCounter::new(), LinSpec::new(CounterSpec::new()), 1),
+            |enforced| {
+                for _ in 0..8 {
+                    enforced.apply_verified(p0, &counter::inc());
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("typed_session", |b| {
+        b.iter_batched(
+            || {
+                let monitor = Monitor::builder(CounterSpec::new())
+                    .processes(1)
+                    .build(AtomicCounter::new());
+                let session = monitor.register().expect("fresh monitor has a free slot");
+                (monitor, session)
+            },
+            |(_monitor, session)| {
+                for _ in 0..8 {
+                    session.inc().expect("a correct counter is never rejected");
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_facade_overhead
+}
+criterion_main!(benches);

@@ -3,6 +3,9 @@
 //! Each bench target under `benches/` regenerates one experiment of EXPERIMENTS.md.
 //! The library itself only exposes tiny helpers shared by the benches.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 /// Standard process counts swept by the scaling benches.
 pub const PROCESS_SWEEP: [usize; 4] = [1, 2, 4, 8];
 

@@ -12,7 +12,7 @@
 //!
 //! * [`GenLinObject`] — membership predicate over finite histories with the closure
 //!   properties of `GenLin` documented and testable.
-//! * [`LinSpec`] — linearizability with respect to a [`SequentialSpec`], decided with a
+//! * [`LinSpec`] — linearizability with respect to a [`SequentialSpec`](linrv_spec::SequentialSpec), decided with a
 //!   Wing–Gong search enhanced with Lowe-style memoisation.
 //! * [`PartitionedSpec`] — product-object specialisation (partition the history by key
 //!   and check each part independently), the tractable fast path for sets and

@@ -1,6 +1,6 @@
 //! Set-linearizability membership.
 //!
-//! Set-linearizability (Neiger, cited as [81] in the paper) generalises linearizability
+//! Set-linearizability (Neiger, cited as \[81\] in the paper) generalises linearizability
 //! by letting a *set* of mutually concurrent operations take effect simultaneously: a
 //! set-linearization is a sequence of non-empty *concurrency classes*; the object's
 //! transition function consumes a whole class at a time. Linearizability is the special

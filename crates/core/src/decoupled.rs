@@ -12,6 +12,7 @@
 //! not all verifiers crash.
 
 use crate::drv::Drv;
+use crate::registry::RegistryFull;
 use crate::verifier::{Verifier, VerifierOutcome};
 use crate::view::{TupleSet, View};
 use linrv_check::GenLinObject;
@@ -34,6 +35,10 @@ pub struct DecoupledProducer<A> {
 impl<A: ConcurrentObject> DecoupledProducer<A> {
     /// Applies an operation: obtain `(y, λ)` from `A*`, publish the tuple, return `y`
     /// immediately (Lines 01–05 of Figure 12).
+    ///
+    /// The publish step mirrors [`Verifier::record`] over the producer's own
+    /// `res_i` sets (producers and verifiers share the snapshot `M` but not the
+    /// local sets); keep the two in sync when changing either.
     pub fn apply_and_publish(&self, process: ProcessId, op: &Operation) -> OpValue {
         let response = self.drv.apply_drv(process, op);
         let local = {
@@ -53,6 +58,20 @@ impl<A: ConcurrentObject> DecoupledProducer<A> {
     /// Number of producer processes.
     pub fn processes(&self) -> usize {
         self.local_results.len()
+    }
+
+    /// Leases a free producer slot (capacity-bounded dynamic registration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryFull`] when all `processes()` slots are leased.
+    pub fn register(&self) -> Result<ProcessId, RegistryFull> {
+        self.drv.register()
+    }
+
+    /// Returns a leased producer slot to the pool.
+    pub fn release(&self, process: ProcessId) {
+        self.drv.release(process);
     }
 }
 

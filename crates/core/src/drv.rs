@@ -21,6 +21,7 @@
 //! the "stretch"/"shrink" pictures of Figures 5, 6 and 8 are reproduced without relying
 //! on racy timing.
 
+use crate::registry::{ProcessRegistry, RegistryFull};
 use crate::view::{InvocationPair, View, ViewTuple};
 use linrv_history::{OpId, OpValue, Operation, ProcessId};
 use linrv_runtime::ConcurrentObject;
@@ -66,6 +67,7 @@ pub struct Drv<A> {
     /// The persistent local variable `set_i` of each process.
     local_sets: Vec<Mutex<View>>,
     next_op: AtomicU64,
+    registry: ProcessRegistry,
 }
 
 impl<A: ConcurrentObject> Drv<A> {
@@ -84,12 +86,36 @@ impl<A: ConcurrentObject> Drv<A> {
             announcements: snapshot,
             local_sets: (0..n).map(|_| Mutex::new(View::new())).collect(),
             next_op: AtomicU64::new(0),
+            registry: ProcessRegistry::new(n),
         }
     }
 
     /// Number of processes the wrapper was created for.
     pub fn processes(&self) -> usize {
         self.local_sets.len()
+    }
+
+    /// Leases a free process slot (capacity-bounded dynamic registration).
+    ///
+    /// The returned identifier is exclusively owned by the caller until it is
+    /// handed back via [`Drv::release`]. Callers that prefer to manage ids
+    /// themselves (the raw API) may keep constructing `ProcessId`s directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryFull`] when all `processes()` slots are leased.
+    pub fn register(&self) -> Result<ProcessId, RegistryFull> {
+        self.registry.register()
+    }
+
+    /// Returns a leased process slot to the pool (see [`Drv::register`]).
+    pub fn release(&self, process: ProcessId) {
+        self.registry.release(process);
+    }
+
+    /// The lease manager for this wrapper's process slots.
+    pub fn registry(&self) -> &ProcessRegistry {
+        &self.registry
     }
 
     /// The wrapped implementation.

@@ -14,6 +14,7 @@
 
 use crate::certificate::Certificate;
 use crate::drv::Drv;
+use crate::registry::RegistryFull;
 use crate::verifier::{Verifier, VerifierOutcome};
 use linrv_check::GenLinObject;
 use linrv_history::{History, OpValue, Operation, ProcessId};
@@ -74,6 +75,21 @@ impl<A: ConcurrentObject, O: GenLinObject> SelfEnforced<A, O> {
     /// Number of processes the wrapper was created for.
     pub fn processes(&self) -> usize {
         self.drv.processes()
+    }
+
+    /// Leases a free process slot, valid for both the embedded `DRV` wrapper and
+    /// the embedded verifier (they share one id space).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryFull`] when all `processes()` slots are leased.
+    pub fn register(&self) -> Result<ProcessId, RegistryFull> {
+        self.drv.register()
+    }
+
+    /// Returns a leased process slot to the pool (see [`SelfEnforced::register`]).
+    pub fn release(&self, process: ProcessId) {
+        self.drv.release(process);
     }
 
     /// The wrapped implementation.

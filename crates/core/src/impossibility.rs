@@ -4,7 +4,7 @@
 //! for common objects (queues, stacks, …), regardless of the consensus power of its
 //! base objects. The proof exhibits two executions `E` and `F` of any candidate
 //! verifier with the adversarial queue implementation `A` of
-//! [`Theorem51Queue`](linrv_runtime::faulty::Theorem51Queue):
+//! [`Theorem51Queue`]:
 //!
 //! * in `E`, process `p_2`'s `Dequeue():1` *completes before* `p_1`'s `Enqueue(1)`
 //!   starts — the history of `A` is **not** linearizable;

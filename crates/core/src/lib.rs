@@ -21,7 +21,9 @@
 //!   argument;
 //! * [`bounded`] — the Section 9.1 linked-list representation of grow-only sets;
 //! * [`certificate`] — serialisable accountability/forensics certificates
-//!   (Section 8.3).
+//!   (Section 8.3);
+//! * [`registry`] — capacity-bounded dynamic process registration, backing the
+//!   session handles of the `linrv` facade crate.
 //!
 //! ## Quick start
 //!
@@ -52,6 +54,7 @@ pub mod decoupled;
 pub mod drv;
 pub mod enforce;
 pub mod impossibility;
+pub mod registry;
 pub mod sketch;
 pub mod verifier;
 pub mod view;
@@ -60,6 +63,7 @@ pub use certificate::Certificate;
 pub use decoupled::{DecoupledProducer, DecoupledVerifier};
 pub use drv::{Drv, DrvResponse};
 pub use enforce::{EnforcedResponse, SelfEnforced};
+pub use registry::{ProcessRegistry, RegistryFull};
 pub use sketch::{sketch_history, SketchError};
 pub use verifier::{Verifier, VerifierOutcome, VerifierRun};
 pub use view::{InvocationPair, TupleSet, View, ViewPropertyError, ViewTuple};

@@ -1,0 +1,168 @@
+//! Capacity-bounded dynamic process registration.
+//!
+//! The paper's constructions are parameterised by a fixed number of processes `n`
+//! because their snapshot base objects have one entry per process. Call sites,
+//! however, should not have to thread `ProcessId`s around manually: the facade
+//! crate hands out per-process *session* handles instead. [`ProcessRegistry`]
+//! bridges the two worlds — it owns the `n` entry slots of a construction and
+//! leases zero-based process identifiers to callers, recycling a slot once its
+//! holder releases it.
+//!
+//! Recycling is sound for the DRV/verifier constructions: the per-process
+//! persistent sets (`set_i` of Figure 7, `res_i` of Figure 10) survive across
+//! leases, and because a slot is only ever re-leased after its previous holder
+//! released it, all operations attributed to process `p_i` remain totally ordered
+//! in real time — exactly the *process sequentiality* property of Remark 7.2.
+//!
+//! The one obligation on callers: a slot must **not** be released while an
+//! operation announced on it is still incomplete (an announcement can never be
+//! withdrawn, so a new holder would overlap it and make the history ill-formed).
+//! The facade upholds this by *retiring* the slot of a session dropped with a
+//! staged-but-uncommitted operation — modelling a crashed process.
+
+use linrv_history::ProcessId;
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Error returned when every process slot of a construction is currently leased.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryFull {
+    /// Total number of slots of the construction.
+    pub capacity: usize,
+}
+
+impl fmt::Display for RegistryFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "all {} process slots are registered; release a session first or \
+             rebuild with a larger capacity",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for RegistryFull {}
+
+/// A capacity-bounded lease manager for the process slots of a construction.
+///
+/// Identifiers are handed out lowest-index-first; released identifiers return to
+/// the pool and are re-leased before fresh ones, which keeps the set of live
+/// indices dense (snapshot scans touch every entry, so dense is cheap).
+pub struct ProcessRegistry {
+    capacity: usize,
+    /// `free[i]` is `true` when slot `i` is available for lease.
+    free: Mutex<Vec<bool>>,
+}
+
+impl ProcessRegistry {
+    /// Creates a registry managing `capacity` slots, all initially free.
+    pub fn new(capacity: usize) -> Self {
+        ProcessRegistry {
+            capacity,
+            free: Mutex::new(vec![true; capacity]),
+        }
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently leased slots.
+    pub fn registered(&self) -> usize {
+        self.capacity - self.free.lock().iter().filter(|f| **f).count()
+    }
+
+    /// Leases the lowest free slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryFull`] when every slot is leased.
+    pub fn register(&self) -> Result<ProcessId, RegistryFull> {
+        let mut free = self.free.lock();
+        match free.iter().position(|f| *f) {
+            Some(index) => {
+                free[index] = false;
+                Ok(ProcessId::new(index as u32))
+            }
+            None => Err(RegistryFull {
+                capacity: self.capacity,
+            }),
+        }
+    }
+
+    /// Returns a leased slot to the pool.
+    ///
+    /// Releasing an id that is not currently leased (double release, or an id the
+    /// caller minted directly) is a no-op rather than an error: the registry
+    /// coexists with the raw API, where callers construct `ProcessId`s freely.
+    pub fn release(&self, process: ProcessId) {
+        let mut free = self.free.lock();
+        if let Some(slot) = free.get_mut(process.index()) {
+            *slot = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_lowest_free_slot_first() {
+        let registry = ProcessRegistry::new(2);
+        assert_eq!(registry.register().unwrap().index(), 0);
+        assert_eq!(registry.register().unwrap().index(), 1);
+        assert_eq!(registry.register(), Err(RegistryFull { capacity: 2 }));
+        assert_eq!(registry.registered(), 2);
+    }
+
+    #[test]
+    fn released_slots_are_recycled() {
+        let registry = ProcessRegistry::new(2);
+        let a = registry.register().unwrap();
+        let _b = registry.register().unwrap();
+        registry.release(a);
+        assert_eq!(registry.register().unwrap(), a);
+    }
+
+    #[test]
+    fn double_release_is_a_no_op() {
+        let registry = ProcessRegistry::new(1);
+        let a = registry.register().unwrap();
+        registry.release(a);
+        registry.release(a);
+        registry.release(ProcessId::new(17)); // out of range: ignored
+        assert_eq!(registry.registered(), 0);
+        assert_eq!(registry.register().unwrap(), a);
+    }
+
+    #[test]
+    fn error_message_names_the_capacity() {
+        let registry = ProcessRegistry::new(0);
+        let err = registry.register().unwrap_err();
+        assert!(err.to_string().contains("all 0 process slots"));
+        assert_eq!(err.capacity, 0);
+    }
+
+    #[test]
+    fn concurrent_registration_hands_out_distinct_ids() {
+        use std::sync::Arc;
+        let registry = Arc::new(ProcessRegistry::new(8));
+        let ids = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let registry = Arc::clone(&registry);
+                    scope.spawn(move || registry.register().unwrap())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<std::collections::BTreeSet<_>>()
+        });
+        assert_eq!(ids.len(), 8);
+        assert!(registry.register().is_err());
+    }
+}

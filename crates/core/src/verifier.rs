@@ -107,6 +107,24 @@ impl<O: GenLinObject> Verifier<O> {
     ///
     /// Panics when `process` is outside the range the verifier was created for.
     pub fn observe(&self, process: ProcessId, tuple: ViewTuple) -> VerifierOutcome {
+        self.record(process, tuple);
+        self.verdict_from_scan(process)
+    }
+
+    /// The publication half of [`Verifier::observe`] (Figure 10, Lines 06–08):
+    /// record the tuple in `res_i` and exchange it through the snapshot, *without*
+    /// computing a verdict.
+    ///
+    /// This is the publish-only step of the decoupled construction (Figure 12,
+    /// producer code — `DecoupledProducer` maintains its own equivalent `res_i`
+    /// sets); verdicts are then computed asynchronously via
+    /// [`Verifier::verdict_from_scan`]. The facade's Observe mode calls this on
+    /// the critical path instead of [`Verifier::observe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `process` is outside the range the verifier was created for.
+    pub fn record(&self, process: ProcessId, tuple: ViewTuple) {
         assert!(
             process.index() < self.processes(),
             "process {process} out of range for a {}-process verifier",
@@ -118,7 +136,6 @@ impl<O: GenLinObject> Verifier<O> {
             res.clone()
         };
         self.results.write(process.index(), local);
-        self.verdict_from_scan(process)
     }
 
     /// Re-evaluates the verdict from the current shared state without contributing a

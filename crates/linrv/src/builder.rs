@@ -1,0 +1,191 @@
+//! The fluent [`MonitorBuilder`]: spec, snapshot backend, mode and certificate
+//! policy in one chain.
+
+use crate::monitor::{Monitor, MonitorInner};
+use linrv_check::LinSpec;
+use linrv_core::enforce::SelfEnforced;
+use linrv_core::view::{TupleSet, View};
+use linrv_runtime::ConcurrentObject;
+use linrv_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LockedSnapshot, Snapshot};
+use linrv_spec::TypedObject;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Which atomic-snapshot construction the monitor's base objects use.
+///
+/// The paper's constructions only require a linearizable snapshot object
+/// (Definition 7.3); the choice trades progress guarantees for step complexity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotBackend {
+    /// The wait-free helping construction of Afek et al. — the paper's reference
+    /// base object. `O(n²)` reads per operation. The default.
+    #[default]
+    Afek,
+    /// Plain double-collect: linearizable but only lock-free (a scan can be
+    /// starved by writers). Cheaper in the uncontended case.
+    DoubleCollect,
+    /// A mutex-protected array: trivially linearizable but blocking. The
+    /// differential-testing oracle; not wait-free.
+    Locked,
+}
+
+/// Whether verification gates responses or merely observes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Self-enforced (Figure 11): the membership test runs on the critical path
+    /// of every operation and incorrect responses are replaced by a rejection
+    /// carrying a witness. The default.
+    #[default]
+    Enforce,
+    /// Verifier-only (Figure 12, decoupled): operations publish their view tuples
+    /// and return immediately; verdicts are computed asynchronously via
+    /// [`Monitor::check`]. A violation may thus be observed only after the
+    /// offending response was already returned.
+    Observe,
+}
+
+/// When the monitor captures execution certificates (Section 8.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CertificatePolicy {
+    /// Certificates are only produced when asked for via
+    /// [`Monitor::certificate`]. The default.
+    #[default]
+    OnDemand,
+    /// Additionally, the first rejected operation (Enforce mode) captures a
+    /// certificate of the violating computation, retrievable later via
+    /// [`Monitor::first_violation`] — useful when the rejected caller is not the
+    /// component doing the forensics.
+    OnViolation,
+}
+
+/// Fluent configuration of a [`Monitor`].
+///
+/// ```
+/// use linrv::prelude::*;
+/// use linrv::runtime::impls::MsQueue;
+///
+/// let monitor = Monitor::builder(QueueSpec::new())
+///     .processes(4)
+///     .snapshot(SnapshotBackend::Locked)
+///     .mode(Mode::Observe)
+///     .certificates(CertificatePolicy::OnViolation)
+///     .build(MsQueue::new());
+/// assert_eq!(monitor.capacity(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonitorBuilder<S> {
+    spec: S,
+    capacity: usize,
+    backend: SnapshotBackend,
+    mode: Mode,
+    policy: CertificatePolicy,
+}
+
+/// Default number of process slots when [`MonitorBuilder::processes`] is not
+/// called.
+pub const DEFAULT_CAPACITY: usize = 8;
+
+impl<S: TypedObject> MonitorBuilder<S> {
+    /// Starts a builder for monitors verifying against `spec`.
+    pub fn new(spec: S) -> Self {
+        MonitorBuilder {
+            spec,
+            capacity: DEFAULT_CAPACITY,
+            backend: SnapshotBackend::default(),
+            mode: Mode::default(),
+            policy: CertificatePolicy::default(),
+        }
+    }
+
+    /// Sets the maximum number of concurrently registered sessions (the `n` of the
+    /// paper's constructions; the snapshot base objects have one entry each).
+    /// Defaults to [`DEFAULT_CAPACITY`].
+    pub fn processes(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Selects the snapshot construction used by the DRV wrapper and the verifier.
+    /// Defaults to [`SnapshotBackend::Afek`].
+    pub fn snapshot(mut self, backend: SnapshotBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects whether verification gates responses ([`Mode::Enforce`]) or runs
+    /// off the critical path ([`Mode::Observe`]). Defaults to [`Mode::Enforce`].
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects when certificates are captured automatically. Defaults to
+    /// [`CertificatePolicy::OnDemand`].
+    pub fn certificates(mut self, policy: CertificatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Wraps the black-box implementation `inner` and finishes the monitor.
+    pub fn build<A: ConcurrentObject>(self, inner: A) -> Monitor<A, S> {
+        let n = self.capacity;
+        let (announcements, results): (Arc<dyn Snapshot<View>>, Arc<dyn Snapshot<TupleSet>>) =
+            match self.backend {
+                SnapshotBackend::Afek => (
+                    Arc::new(AfekSnapshot::new(n, View::new())),
+                    Arc::new(AfekSnapshot::new(n, TupleSet::new())),
+                ),
+                SnapshotBackend::DoubleCollect => (
+                    Arc::new(DoubleCollectSnapshot::new(n, View::new())),
+                    Arc::new(DoubleCollectSnapshot::new(n, TupleSet::new())),
+                ),
+                SnapshotBackend::Locked => (
+                    Arc::new(LockedSnapshot::new(n, View::new())),
+                    Arc::new(LockedSnapshot::new(n, TupleSet::new())),
+                ),
+            };
+        let enforced =
+            SelfEnforced::with_snapshots(inner, LinSpec::new(self.spec), announcements, results);
+        Monitor::from_inner(MonitorInner {
+            enforced,
+            mode: self.mode,
+            policy: self.policy,
+            backend: self.backend,
+            first_violation: Mutex::new(None),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_runtime::impls::MsQueue;
+    use linrv_spec::QueueSpec;
+
+    #[test]
+    fn defaults_are_documented() {
+        let builder = MonitorBuilder::new(QueueSpec::new());
+        let monitor = builder.build(MsQueue::new());
+        assert_eq!(monitor.capacity(), DEFAULT_CAPACITY);
+        assert_eq!(monitor.mode(), Mode::Enforce);
+        assert_eq!(monitor.snapshot_backend(), SnapshotBackend::Afek);
+    }
+
+    #[test]
+    fn every_backend_builds() {
+        for backend in [
+            SnapshotBackend::Afek,
+            SnapshotBackend::DoubleCollect,
+            SnapshotBackend::Locked,
+        ] {
+            let monitor = MonitorBuilder::new(QueueSpec::new())
+                .processes(2)
+                .snapshot(backend)
+                .build(MsQueue::new());
+            let session = monitor.register().unwrap();
+            session.enqueue(1).unwrap();
+            assert_eq!(session.dequeue().unwrap(), Some(1));
+            assert_eq!(monitor.snapshot_backend(), backend);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! # linrv — the typed, session-based facade
+//!
+//! One import surface over the whole runtime-verification stack of Castañeda &
+//! Rodríguez (PODC 2023): wrap any black-box concurrent object so that its
+//! responses are **runtime verified** for linearizability, without stringly-typed
+//! operations or manual process-id threading.
+//!
+//! Three pillars:
+//!
+//! * [`MonitorBuilder`] — one fluent chain selects the sequential specification,
+//!   the snapshot backend ([`SnapshotBackend`]), the verification mode
+//!   ([`Mode::Enforce`] gates responses, [`Mode::Observe`] verifies off the
+//!   critical path) and the certificate policy ([`CertificatePolicy`]).
+//! * [`Session`] — per-process handles obtained from [`Monitor::register`]. Each
+//!   session exclusively owns one process slot of the paper's constructions
+//!   (capacity-bounded, recycled on drop), so call sites never see a process id.
+//! * **Typed operations** — `session.enqueue(7)` / `session.dequeue()` and
+//!   friends for all seven shipped specifications, returning
+//!   `Result<T, `[`Rejected`]`>` with precise response types. The typed layer
+//!   ([`linrv_spec::typed`]) encodes to the untyped `Operation`/`OpValue` wire
+//!   format, which remains fully available as the escape hatch (see [`raw`],
+//!   [`Session::apply_raw`] and [`Monitor::as_raw`]).
+//!
+//! ## Quick start
+//!
+//! This is the README front-page example, compiled as a doc-test:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use linrv::prelude::*;
+//! use linrv::runtime::impls::MsQueue;
+//!
+//! // Wrap a lock-free queue so that every response is runtime verified.
+//! let monitor = Monitor::builder(QueueSpec::new())
+//!     .processes(2)
+//!     .snapshot(SnapshotBackend::Afek)
+//!     .mode(Mode::Enforce)
+//!     .build(MsQueue::new());
+//!
+//! // Sessions own their process slot: no id threading at call sites.
+//! let session = monitor.register()?;
+//! session.enqueue(7)?;
+//! assert_eq!(session.dequeue()?, Some(7));
+//!
+//! // A certificate of the whole computation, on demand (Theorem 8.2 (3)).
+//! assert!(monitor.certificate().is_correct());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Raw API vs typed API
+//!
+//! | Concern | Raw ([`raw`], `linrv-core`) | Typed (this crate) |
+//! | ------- | --------------------------- | ------------------ |
+//! | Construction | `SelfEnforced::new(a, LinSpec::new(spec), n)` | [`Monitor::builder`]`(spec).processes(n).build(a)` |
+//! | Process identity | caller threads `ProcessId` manually | [`Session`] owns its slot; [`Monitor::register`] |
+//! | Operations | `Operation::new("Enqueue", OpValue::Int(5))` | `session.enqueue(5)` |
+//! | Responses | `OpValue` inspected at runtime | precise types (`Option<i64>`, `bool`, …) |
+//! | Errors | `OpValue::Error` sentinel + witness field | `Result<_, `[`Rejected`]`>` |
+//! | Verification placement | pick `SelfEnforced` vs `decoupled` by hand | [`Mode::Enforce`] / [`Mode::Observe`] |
+//! | Availability | always (re-exported here) | seven shipped specs + any [`TypedObject`](spec::TypedObject) |
+//!
+//! The two layers interoperate freely: typed operations are *encodings* — a typed
+//! session run and a raw run with the same wire operations produce identical
+//! verdicts (property-tested in `tests-integration`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod monitor;
+mod session;
+mod typed_history;
+
+pub use builder::{CertificatePolicy, Mode, MonitorBuilder, SnapshotBackend, DEFAULT_CAPACITY};
+pub use monitor::{Monitor, Verdict};
+pub use session::{Executed, Rejected, Session, Staged};
+pub use typed_history::{TypedCall, TypedHistoryBuilder};
+
+// Re-exported constituent crates, for everything the facade does not wrap.
+pub use linrv_check as check;
+pub use linrv_history as history;
+pub use linrv_runtime as runtime;
+pub use linrv_snapshot as snapshot;
+pub use linrv_spec as spec;
+
+pub use linrv_core::registry::RegistryFull;
+pub use linrv_history::display::render_timeline;
+
+use linrv_check::{GenLinObject, LinSpec};
+use linrv_history::History;
+use linrv_spec::SequentialSpec;
+
+/// The raw, untyped API: the paper's constructions exactly as `linrv-core`
+/// exposes them, for call sites that need manual `ProcessId` threading, custom
+/// snapshot wiring or untyped `Operation`s.
+pub mod raw {
+    pub use linrv_check::{CheckerConfig, GenLinObject, LinSpec};
+    pub use linrv_core as core;
+    pub use linrv_core::{
+        decoupled, Certificate, DecoupledProducer, DecoupledVerifier, Drv, DrvResponse,
+        EnforcedResponse, ProcessRegistry, RegistryFull, SelfEnforced, Verifier, VerifierOutcome,
+    };
+    pub use linrv_history::{History, HistoryBuilder, OpId, OpValue, Operation, ProcessId};
+    pub use linrv_runtime::ConcurrentObject;
+    pub use linrv_snapshot::Snapshot;
+}
+
+/// The names most programs want in scope.
+pub mod prelude {
+    pub use crate::builder::{CertificatePolicy, Mode, MonitorBuilder, SnapshotBackend};
+    pub use crate::monitor::{Monitor, Verdict};
+    pub use crate::session::{Rejected, Session};
+    pub use crate::typed_history::TypedHistoryBuilder;
+    pub use crate::RegistryFull;
+    pub use linrv_spec::{
+        ConsensusSpec, CounterSpec, PriorityQueueSpec, QueueSpec, RegisterSpec, SetSpec, StackSpec,
+    };
+    pub use linrv_spec::{OpFor, TypedObject, TypedOp};
+}
+
+/// Decides whether `history` is linearizable with respect to `spec`
+/// (Definition 4.2), without constructing a monitor.
+///
+/// ```
+/// use linrv::spec::typed::queue::{Dequeue, Enqueue};
+/// use linrv::spec::QueueSpec;
+/// use linrv::TypedHistoryBuilder;
+///
+/// let mut b = TypedHistoryBuilder::<QueueSpec>::new();
+/// b.complete(0, Enqueue(1), ());
+/// b.complete(1, Dequeue, Some(1));
+/// assert!(linrv::is_linearizable(QueueSpec::new(), &b.build()));
+/// ```
+pub fn is_linearizable<S: SequentialSpec>(spec: S, history: &History) -> bool {
+    LinSpec::new(spec).contains(history)
+}
+
+/// Compiles and runs the README's front-page example as a doc-test, so the
+/// quickstart can never silently drift from the actual API.
+#[cfg(doctest)]
+#[doc = include_str!("../../../README.md")]
+pub struct ReadmeDoctests;

@@ -1,0 +1,304 @@
+//! The [`Monitor`]: a verified wrapper around one black-box implementation,
+//! handing out per-process [`Session`] handles.
+
+use crate::builder::{CertificatePolicy, Mode, MonitorBuilder, SnapshotBackend};
+use crate::session::Session;
+use linrv_check::LinSpec;
+use linrv_core::certificate::Certificate;
+use linrv_core::enforce::SelfEnforced;
+use linrv_core::registry::RegistryFull;
+use linrv_core::verifier::VerifierOutcome;
+use linrv_history::{History, ProcessId};
+use linrv_runtime::ConcurrentObject;
+use linrv_spec::TypedObject;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The shared state behind a [`Monitor`] and its [`Session`]s.
+pub(crate) struct MonitorInner<A, S: TypedObject> {
+    pub(crate) enforced: SelfEnforced<A, LinSpec<S>>,
+    pub(crate) mode: Mode,
+    pub(crate) policy: CertificatePolicy,
+    pub(crate) backend: SnapshotBackend,
+    /// Certificate captured at the first rejection, when the policy asks for it.
+    pub(crate) first_violation: Mutex<Option<Certificate>>,
+}
+
+impl<A: ConcurrentObject, S: TypedObject> MonitorInner<A, S> {
+    /// Captures the first-violation certificate if the policy requires it.
+    pub(crate) fn note_violation(&self, process: ProcessId) {
+        if self.policy == CertificatePolicy::OnViolation {
+            let mut slot = self.first_violation.lock();
+            if slot.is_none() {
+                *slot = Some(self.enforced.certificate_as(process));
+            }
+        }
+    }
+}
+
+/// The asynchronous verdict of a monitor over the computation it has seen so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every response exchanged so far is certified linearizable.
+    Correct,
+    /// The computation is not linearizable; the witness is a genuine history of
+    /// the wrapped implementation (predictive soundness, Theorem 8.1).
+    Violation {
+        /// The non-linearizable witness history.
+        witness: History,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` when no violation has been detected.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Verdict::Correct)
+    }
+
+    /// The witness history, when a violation was detected.
+    pub fn witness(&self) -> Option<&History> {
+        match self {
+            Verdict::Violation { witness } => Some(witness),
+            Verdict::Correct => None,
+        }
+    }
+}
+
+/// A runtime-verification monitor wrapping one black-box implementation `A`
+/// against the sequential specification `S`.
+///
+/// Obtain one through [`Monitor::builder`]; obtain per-process handles through
+/// [`Monitor::register`]. The monitor is cheaply cloneable (it is an `Arc`
+/// internally) and all methods take `&self`, so it can be shared freely across
+/// threads.
+pub struct Monitor<A, S: TypedObject> {
+    inner: Arc<MonitorInner<A, S>>,
+}
+
+impl<A, S: TypedObject> Clone for Monitor<A, S> {
+    fn clone(&self) -> Self {
+        Monitor {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: TypedObject> Monitor<(), S> {
+    /// Starts the fluent configuration chain (see [`MonitorBuilder`]).
+    ///
+    /// The implementation type is fixed later, by [`MonitorBuilder::build`]; this
+    /// constructor lives on `Monitor<(), _>` only so that type inference never
+    /// asks for it.
+    pub fn builder(spec: S) -> MonitorBuilder<S> {
+        MonitorBuilder::new(spec)
+    }
+}
+
+impl<A: ConcurrentObject, S: TypedObject> Monitor<A, S> {
+    pub(crate) fn from_inner(inner: MonitorInner<A, S>) -> Self {
+        Monitor {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Registers a new per-process session.
+    ///
+    /// Each session exclusively owns one of the monitor's `capacity()` process
+    /// slots until it is dropped (slots are recycled). Call sites never handle
+    /// process ids; the session threads its own id through every operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryFull`] when all slots are held by live sessions.
+    pub fn register(&self) -> Result<Session<A, S>, RegistryFull> {
+        let process = self.inner.enforced.register()?;
+        Ok(Session::new(Arc::clone(&self.inner), process))
+    }
+
+    /// Maximum number of concurrently registered sessions.
+    pub fn capacity(&self) -> usize {
+        self.inner.enforced.processes()
+    }
+
+    /// Number of currently registered sessions.
+    pub fn registered(&self) -> usize {
+        self.inner.enforced.drv().registry().registered()
+    }
+
+    /// The monitor's verification mode.
+    pub fn mode(&self) -> Mode {
+        self.inner.mode
+    }
+
+    /// The snapshot construction the monitor was built with.
+    pub fn snapshot_backend(&self) -> SnapshotBackend {
+        self.inner.backend
+    }
+
+    /// Recomputes the verdict over everything published so far (Figure 12,
+    /// verifier role). In [`Mode::Observe`] this is the *only* place verdicts are
+    /// computed; in [`Mode::Enforce`] it is a cheap way to poll global health
+    /// without issuing an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the published tuples violate the view properties of
+    /// Remark 7.2, which cannot happen unless the shared state was corrupted.
+    pub fn check(&self) -> Verdict {
+        match self
+            .inner
+            .enforced
+            .verifier()
+            .verdict_from_scan(ProcessId::new(0))
+        {
+            VerifierOutcome::Ok => Verdict::Correct,
+            VerifierOutcome::Error { witness } => {
+                // In Observe mode this is where violations surface, so this is
+                // also where the OnViolation policy captures its certificate.
+                self.inner.note_violation(ProcessId::new(0));
+                Verdict::Violation { witness }
+            }
+            VerifierOutcome::InvalidViews(err) => {
+                panic!("published tuples violate the view properties: {err}")
+            }
+        }
+    }
+
+    /// Produces a certificate of the computation so far (Theorem 8.2 (3)).
+    pub fn certificate(&self) -> Certificate {
+        self.inner.enforced.certificate()
+    }
+
+    /// The certificate captured at the first rejection, when the monitor was
+    /// built with [`CertificatePolicy::OnViolation`].
+    pub fn first_violation(&self) -> Option<Certificate> {
+        self.inner.first_violation.lock().clone()
+    }
+
+    /// Short human-readable name (implementation + object).
+    pub fn name(&self) -> String {
+        self.inner.enforced.name()
+    }
+
+    /// Escape hatch: the underlying self-enforced wrapper of the raw API.
+    ///
+    /// Everything the facade does can also be done here, at the price of manual
+    /// `ProcessId` threading and untyped `Operation`/`OpValue` handling.
+    pub fn as_raw(&self) -> &SelfEnforced<A, LinSpec<S>> {
+        &self.inner.enforced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Mode;
+    use linrv_runtime::faulty::LossyQueue;
+    use linrv_runtime::impls::MsQueue;
+    use linrv_spec::QueueSpec;
+
+    #[test]
+    fn sessions_recycle_capacity() {
+        let monitor = Monitor::builder(QueueSpec::new())
+            .processes(1)
+            .build(MsQueue::new());
+        let first = monitor.register().unwrap();
+        assert_eq!(monitor.registered(), 1);
+        assert!(monitor.register().is_err(), "capacity is exhausted");
+        drop(first);
+        assert_eq!(monitor.registered(), 0);
+        let second = monitor.register().unwrap();
+        second.enqueue(1).unwrap();
+        assert_eq!(second.dequeue().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn monitor_clones_share_state() {
+        let monitor = Monitor::builder(QueueSpec::new())
+            .processes(2)
+            .build(MsQueue::new());
+        let clone = monitor.clone();
+        let session = clone.register().unwrap();
+        session.enqueue(9).unwrap();
+        assert_eq!(monitor.registered(), 1);
+        assert!(monitor.check().is_correct());
+        assert_eq!(monitor.certificate().operations(), 1);
+        assert!(monitor.name().contains("queue"));
+    }
+
+    #[test]
+    fn observe_mode_defers_verdicts_to_check() {
+        let monitor = Monitor::builder(QueueSpec::new())
+            .processes(1)
+            .mode(Mode::Observe)
+            .build(LossyQueue::new(2));
+        let session = monitor.register().unwrap();
+        for i in 0..6 {
+            session.enqueue(i).expect("observe mode never rejects");
+        }
+        let mut drained = 0;
+        while session
+            .dequeue()
+            .expect("observe mode never rejects")
+            .is_some()
+        {
+            drained += 1;
+        }
+        assert!(drained < 6, "the lossy queue must lose elements");
+        let verdict = monitor.check();
+        assert!(!verdict.is_correct());
+        assert!(verdict.witness().is_some());
+    }
+
+    #[test]
+    fn first_violation_certificate_is_captured_on_demand_only_when_asked() {
+        let monitor = Monitor::builder(QueueSpec::new())
+            .processes(1)
+            .certificates(crate::CertificatePolicy::OnViolation)
+            .build(LossyQueue::new(2));
+        let session = monitor.register().unwrap();
+        for i in 0..6 {
+            let _ = session.enqueue(i);
+        }
+        let mut rejected = false;
+        for _ in 0..6 {
+            if session.dequeue().is_err() {
+                rejected = true;
+            }
+        }
+        assert!(rejected);
+        let cert = monitor.first_violation().expect("captured at rejection");
+        assert!(!cert.is_correct());
+
+        // Observe mode: check() is where violations surface, so check() captures.
+        let observed = Monitor::builder(QueueSpec::new())
+            .processes(1)
+            .mode(Mode::Observe)
+            .certificates(crate::CertificatePolicy::OnViolation)
+            .build(LossyQueue::new(2));
+        let session = observed.register().unwrap();
+        for i in 0..6 {
+            session.enqueue(i).unwrap();
+        }
+        while session.dequeue().unwrap().is_some() {}
+        assert!(observed.first_violation().is_none(), "not yet checked");
+        assert!(!observed.check().is_correct());
+        let cert = observed
+            .first_violation()
+            .expect("captured by the failing check");
+        assert!(!cert.is_correct());
+
+        // Default policy: no automatic capture.
+        let quiet = Monitor::builder(QueueSpec::new())
+            .processes(1)
+            .build(LossyQueue::new(2));
+        let session = quiet.register().unwrap();
+        for i in 0..6 {
+            let _ = session.enqueue(i);
+        }
+        for _ in 0..6 {
+            let _ = session.dequeue();
+        }
+        assert!(quiet.first_violation().is_none());
+    }
+}

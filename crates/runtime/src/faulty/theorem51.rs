@@ -33,6 +33,13 @@ impl Theorem51Queue {
             special_first_done: AtomicBool::new(false),
         }
     }
+
+    /// Creates the adversarial queue with the process at zero-based `index` playing
+    /// the role of `p_2` (convenience for facade call sites, where process ids are
+    /// implied by session registration order).
+    pub fn with_special_index(index: usize) -> Self {
+        Self::new(ProcessId::from(index))
+    }
 }
 
 impl ConcurrentObject for Theorem51Queue {

@@ -23,6 +23,9 @@
 //! * **Workloads** — seeded random operation mixes per object kind.
 
 #![warn(missing_docs)]
+// The lock-free structures under `impls/` genuinely need unsafe (epoch-based
+// reclamation over raw pointers); everything else in the crate is safe code.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod faulty;
 pub mod impls;

@@ -28,6 +28,9 @@
 //! instantiated with any of them (and benchmarked against each other, experiment E15).
 
 #![warn(missing_docs)]
+// `register.rs` genuinely needs unsafe (seqlock-style reads of shared slots);
+// everything else in the crate is safe code.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod afek;
 pub mod double_collect;

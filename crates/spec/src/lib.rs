@@ -42,6 +42,7 @@ pub mod register;
 pub mod set;
 pub mod stack;
 pub mod traits;
+pub mod typed;
 
 pub use consensus::ConsensusSpec;
 pub use counter::CounterSpec;
@@ -51,3 +52,4 @@ pub use register::RegisterSpec;
 pub use set::SetSpec;
 pub use stack::StackSpec;
 pub use traits::{ObjectKind, SequentialSpec, SpecError};
+pub use typed::{OpFor, TypedError, TypedObject, TypedOp};

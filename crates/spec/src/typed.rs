@@ -1,0 +1,656 @@
+//! The typed operation layer: compile-time-safe operations over the untyped
+//! `Operation`/`OpValue` wire format.
+//!
+//! The paper's constructions treat the object under inspection as a black box, so
+//! the wire layer ([`Operation`], [`OpValue`]) is deliberately dynamic. Call sites,
+//! however, should not be stringly typed: this module pairs every specification
+//! with a set of *typed operations* — one zero-cost struct per operation, carrying
+//! its argument and knowing its precise response type.
+//!
+//! Three traits tie the layer together:
+//!
+//! * [`TypedOp`] — an operation that can encode itself to the wire format, decode
+//!   itself back (losslessly), and decode/encode its response;
+//! * [`TypedObject`] — a specification whose interface is covered by typed
+//!   operations, with [`TypedObject::Op`] as the uniform enumeration of them;
+//! * [`OpFor`] — the marker connecting each typed operation to the specifications
+//!   it belongs to (this is what makes `session.apply(stack::Pop)` on a queue
+//!   session a *compile-time* error in the facade crate).
+//!
+//! ```
+//! use linrv_spec::typed::{queue, TypedOp};
+//!
+//! let op = queue::Enqueue(7);
+//! let wire = op.encode();
+//! assert_eq!(wire.to_string(), "Enqueue(7)");
+//! assert_eq!(queue::Enqueue::try_decode(&wire), Ok(op));
+//! ```
+
+use crate::{
+    ConsensusSpec, CounterSpec, PriorityQueueSpec, QueueSpec, RegisterSpec, SequentialSpec,
+    SetSpec, StackSpec,
+};
+use linrv_history::{OpValue, Operation};
+use std::fmt;
+
+/// Errors raised when translating between the typed layer and the wire layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypedError {
+    /// The wire operation's kind does not name this typed operation.
+    WrongKind {
+        /// The kind that was expected (e.g. `"Enqueue"`).
+        expected: &'static str,
+        /// The kind found on the wire.
+        found: String,
+    },
+    /// The wire operation's argument has the wrong shape.
+    BadArgument {
+        /// The operation whose argument is malformed.
+        operation: &'static str,
+        /// The argument found on the wire.
+        found: OpValue,
+    },
+    /// A response value does not match the operation's response type.
+    BadResponse {
+        /// The operation whose response is malformed.
+        operation: &'static str,
+        /// The response found on the wire.
+        found: OpValue,
+    },
+}
+
+impl fmt::Display for TypedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypedError::WrongKind { expected, found } => {
+                write!(f, "expected a {expected:?} operation, found {found:?}")
+            }
+            TypedError::BadArgument { operation, found } => {
+                write!(f, "malformed argument for {operation}: {found}")
+            }
+            TypedError::BadResponse { operation, found } => {
+                write!(f, "malformed response for {operation}: {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypedError {}
+
+/// A typed operation: knows its wire encoding and its precise response type.
+///
+/// The encoding must be lossless in both directions:
+/// `Self::try_decode(&op.encode()) == Ok(op)` and
+/// `op.decode_response(&op.encode_response(&r)) == Ok(r)` for every operation
+/// `op` and every response `r` the specification can produce.
+pub trait TypedOp: Sized + Clone + PartialEq + fmt::Debug + Send + Sync {
+    /// The precise response type of this operation (e.g. `Option<i64>` for
+    /// `Dequeue`, whose wire responses are `Int(v)` or `Empty`).
+    type Response: Clone + PartialEq + fmt::Debug + Send + Sync;
+
+    /// Encodes the operation to the wire format.
+    fn encode(&self) -> Operation;
+
+    /// Decodes a wire operation back to the typed form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypedError`] when `op` is not an encoding of this operation.
+    fn try_decode(op: &Operation) -> Result<Self, TypedError>;
+
+    /// Decodes a wire response into the typed response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypedError`] when `raw` is not a response this operation can
+    /// produce (a black-box implementation may return anything).
+    fn decode_response(&self, raw: &OpValue) -> Result<Self::Response, TypedError>;
+
+    /// Encodes a typed response back to the wire format.
+    fn encode_response(&self, response: &Self::Response) -> OpValue;
+}
+
+/// A specification whose interface is covered by the typed operation layer.
+///
+/// [`TypedObject::Op`] is the uniform enumeration of the object's operations,
+/// used where a single type must range over the whole interface (round-trip
+/// tests, typed history builders, workload generators).
+pub trait TypedObject: SequentialSpec + Sized {
+    /// The enumeration of all operations of this object.
+    type Op: TypedOp + OpFor<Self>;
+}
+
+/// Marker trait: `Self` is an operation of the object specified by `S`.
+///
+/// Both the per-operation structs (e.g. [`queue::Enqueue`]) and the uniform
+/// enumeration (e.g. [`queue::QueueOp`]) implement `OpFor<QueueSpec>`.
+pub trait OpFor<S: TypedObject>: TypedOp {}
+
+/// Implements the boilerplate shared by every typed operation struct.
+///
+/// `arg_op` variants take one `i64` argument encoded as `OpValue::Int`;
+/// `nullary_op` variants encode with `OpValue::Unit`.
+macro_rules! arg_op {
+    ($(#[$doc:meta])* $name:ident, $kind:literal, $spec:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name(pub i64);
+
+        impl super::TypedOp for $name {
+            type Response = <Self as ResponseCodec>::Typed;
+
+            fn encode(&self) -> Operation {
+                Operation::new($kind, OpValue::Int(self.0))
+            }
+
+            fn try_decode(op: &Operation) -> Result<Self, TypedError> {
+                if op.kind != $kind {
+                    return Err(TypedError::WrongKind {
+                        expected: $kind,
+                        found: op.kind.clone(),
+                    });
+                }
+                match op.arg.as_int() {
+                    Some(v) => Ok($name(v)),
+                    None => Err(TypedError::BadArgument {
+                        operation: $kind,
+                        found: op.arg.clone(),
+                    }),
+                }
+            }
+
+            fn decode_response(&self, raw: &OpValue) -> Result<Self::Response, TypedError> {
+                <Self as ResponseCodec>::decode($kind, raw)
+            }
+
+            fn encode_response(&self, response: &Self::Response) -> OpValue {
+                <Self as ResponseCodec>::encode(response)
+            }
+        }
+
+        impl super::OpFor<$spec> for $name {}
+    };
+}
+
+macro_rules! nullary_op {
+    ($(#[$doc:meta])* $name:ident, $kind:literal, $spec:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name;
+
+        impl super::TypedOp for $name {
+            type Response = <Self as ResponseCodec>::Typed;
+
+            fn encode(&self) -> Operation {
+                Operation::nullary($kind)
+            }
+
+            fn try_decode(op: &Operation) -> Result<Self, TypedError> {
+                if op.kind != $kind {
+                    return Err(TypedError::WrongKind {
+                        expected: $kind,
+                        found: op.kind.clone(),
+                    });
+                }
+                match op.arg {
+                    OpValue::Unit => Ok($name),
+                    ref other => Err(TypedError::BadArgument {
+                        operation: $kind,
+                        found: other.clone(),
+                    }),
+                }
+            }
+
+            fn decode_response(&self, raw: &OpValue) -> Result<Self::Response, TypedError> {
+                <Self as ResponseCodec>::decode($kind, raw)
+            }
+
+            fn encode_response(&self, response: &Self::Response) -> OpValue {
+                <Self as ResponseCodec>::encode(response)
+            }
+        }
+
+        impl super::OpFor<$spec> for $name {}
+    };
+}
+
+/// Implements the uniform operation enumeration of one object: dispatches every
+/// [`TypedOp`] method to the per-operation structs, with `OpValue` as the uniform
+/// response type (precise responses live on the per-operation structs).
+macro_rules! op_enum {
+    (
+        $(#[$doc:meta])* $name:ident for $spec:ty {
+            $($variant:ident($inner:ty)),+ $(,)?
+        }
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum $name {
+            $(
+                #[doc = concat!("See [`", stringify!($inner), "`].")]
+                $variant($inner),
+            )+
+        }
+
+        impl super::TypedOp for $name {
+            type Response = OpValue;
+
+            fn encode(&self) -> Operation {
+                match self {
+                    $(Self::$variant(op) => op.encode(),)+
+                }
+            }
+
+            fn try_decode(op: &Operation) -> Result<Self, TypedError> {
+                $(
+                    match <$inner>::try_decode(op) {
+                        Ok(decoded) => return Ok(Self::$variant(decoded)),
+                        Err(TypedError::WrongKind { .. }) => {}
+                        Err(other) => return Err(other),
+                    }
+                )+
+                Err(TypedError::WrongKind {
+                    expected: stringify!($name),
+                    found: op.kind.clone(),
+                })
+            }
+
+            fn decode_response(&self, raw: &OpValue) -> Result<OpValue, TypedError> {
+                // Validate the shape through the precise codec, then hand back the
+                // wire value unchanged (the enum is the uniform escape hatch).
+                match self {
+                    $(Self::$variant(op) => {
+                        op.decode_response(raw)?;
+                    })+
+                }
+                Ok(raw.clone())
+            }
+
+            fn encode_response(&self, response: &OpValue) -> OpValue {
+                response.clone()
+            }
+        }
+
+        impl super::OpFor<$spec> for $name {}
+
+        impl super::TypedObject for $spec {
+            type Op = $name;
+        }
+    };
+}
+
+/// Shared response codecs, keyed by the typed response shape.
+///
+/// Implementation detail of the typed operation structs (the associated `Typed`
+/// type surfaces as [`TypedOp::Response`], so the trait must be public); not part
+/// of the stable API.
+#[doc(hidden)]
+pub trait ResponseCodec {
+    /// The typed response shape this codec translates.
+    type Typed: Clone + PartialEq + fmt::Debug + Send + Sync;
+
+    /// Decodes a wire response, naming `operation` in errors.
+    fn decode(operation: &'static str, raw: &OpValue) -> Result<Self::Typed, TypedError>;
+    /// Encodes a typed response to the wire format.
+    fn encode(typed: &Self::Typed) -> OpValue;
+}
+
+/// `()` ⇄ `Bool(true)`: the acknowledgement responses of `Enqueue`, `Push`, …
+macro_rules! ack_codec {
+    ($name:ident) => {
+        impl ResponseCodec for $name {
+            type Typed = ();
+
+            fn decode(operation: &'static str, raw: &OpValue) -> Result<(), TypedError> {
+                match raw {
+                    OpValue::Bool(true) => Ok(()),
+                    other => Err(TypedError::BadResponse {
+                        operation,
+                        found: other.clone(),
+                    }),
+                }
+            }
+
+            fn encode(_typed: &()) -> OpValue {
+                OpValue::Bool(true)
+            }
+        }
+    };
+}
+
+/// `Option<i64>` ⇄ `Int(v)`/`Empty`: the take responses of `Dequeue`, `Pop`, …
+macro_rules! take_codec {
+    ($name:ident) => {
+        impl ResponseCodec for $name {
+            type Typed = Option<i64>;
+
+            fn decode(operation: &'static str, raw: &OpValue) -> Result<Option<i64>, TypedError> {
+                match raw {
+                    OpValue::Int(v) => Ok(Some(*v)),
+                    OpValue::Empty => Ok(None),
+                    other => Err(TypedError::BadResponse {
+                        operation,
+                        found: other.clone(),
+                    }),
+                }
+            }
+
+            fn encode(typed: &Option<i64>) -> OpValue {
+                match typed {
+                    Some(v) => OpValue::Int(*v),
+                    None => OpValue::Empty,
+                }
+            }
+        }
+    };
+}
+
+/// `i64` ⇄ `Int(v)`: the responses of `Read`, `Inc`, `Decide`.
+macro_rules! int_codec {
+    ($name:ident) => {
+        impl ResponseCodec for $name {
+            type Typed = i64;
+
+            fn decode(operation: &'static str, raw: &OpValue) -> Result<i64, TypedError> {
+                match raw {
+                    OpValue::Int(v) => Ok(*v),
+                    other => Err(TypedError::BadResponse {
+                        operation,
+                        found: other.clone(),
+                    }),
+                }
+            }
+
+            fn encode(typed: &i64) -> OpValue {
+                OpValue::Int(*typed)
+            }
+        }
+    };
+}
+
+/// `bool` ⇄ `Bool(b)`: the responses of `Add`, `Remove`, `Contains`.
+macro_rules! bool_codec {
+    ($name:ident) => {
+        impl ResponseCodec for $name {
+            type Typed = bool;
+
+            fn decode(operation: &'static str, raw: &OpValue) -> Result<bool, TypedError> {
+                match raw {
+                    OpValue::Bool(b) => Ok(*b),
+                    other => Err(TypedError::BadResponse {
+                        operation,
+                        found: other.clone(),
+                    }),
+                }
+            }
+
+            fn encode(typed: &bool) -> OpValue {
+                OpValue::Bool(*typed)
+            }
+        }
+    };
+}
+
+/// Typed FIFO-queue operations ([`QueueSpec`]).
+pub mod queue {
+    use super::*;
+
+    arg_op! {
+        /// `Enqueue(v)` — acknowledged with `()`.
+        Enqueue, "Enqueue", QueueSpec
+    }
+    ack_codec!(Enqueue);
+
+    nullary_op! {
+        /// `Dequeue()` — `Some(oldest)` or `None` when the queue is empty.
+        Dequeue, "Dequeue", QueueSpec
+    }
+    take_codec!(Dequeue);
+
+    op_enum! {
+        /// Any queue operation.
+        QueueOp for QueueSpec {
+            Enqueue(Enqueue),
+            Dequeue(Dequeue),
+        }
+    }
+}
+
+/// Typed LIFO-stack operations ([`StackSpec`]).
+pub mod stack {
+    use super::*;
+
+    arg_op! {
+        /// `Push(v)` — acknowledged with `()`.
+        Push, "Push", StackSpec
+    }
+    ack_codec!(Push);
+
+    nullary_op! {
+        /// `Pop()` — `Some(newest)` or `None` when the stack is empty.
+        Pop, "Pop", StackSpec
+    }
+    take_codec!(Pop);
+
+    op_enum! {
+        /// Any stack operation.
+        StackOp for StackSpec {
+            Push(Push),
+            Pop(Pop),
+        }
+    }
+}
+
+/// Typed integer-set operations ([`SetSpec`]).
+pub mod set {
+    use super::*;
+
+    arg_op! {
+        /// `Add(v)` — `true` when `v` was not already present.
+        Add, "Add", SetSpec
+    }
+    bool_codec!(Add);
+
+    arg_op! {
+        /// `Remove(v)` — `true` when `v` was present.
+        Remove, "Remove", SetSpec
+    }
+    bool_codec!(Remove);
+
+    arg_op! {
+        /// `Contains(v)` — whether `v` is present.
+        Contains, "Contains", SetSpec
+    }
+    bool_codec!(Contains);
+
+    op_enum! {
+        /// Any set operation.
+        SetOp for SetSpec {
+            Add(Add),
+            Remove(Remove),
+            Contains(Contains),
+        }
+    }
+}
+
+/// Typed min-priority-queue operations ([`PriorityQueueSpec`]).
+pub mod priority_queue {
+    use super::*;
+
+    arg_op! {
+        /// `Insert(v)` — acknowledged with `()`.
+        Insert, "Insert", PriorityQueueSpec
+    }
+    ack_codec!(Insert);
+
+    nullary_op! {
+        /// `ExtractMin()` — `Some(minimum)` or `None` when empty.
+        ExtractMin, "ExtractMin", PriorityQueueSpec
+    }
+    take_codec!(ExtractMin);
+
+    op_enum! {
+        /// Any priority-queue operation.
+        PriorityQueueOp for PriorityQueueSpec {
+            Insert(Insert),
+            ExtractMin(ExtractMin),
+        }
+    }
+}
+
+/// Typed counter operations ([`CounterSpec`]).
+pub mod counter {
+    use super::*;
+
+    nullary_op! {
+        /// `Inc()` — fetch-and-increment; returns the value *before* the increment.
+        Inc, "Inc", CounterSpec
+    }
+    int_codec!(Inc);
+
+    nullary_op! {
+        /// `Read()` — the current value.
+        Read, "Read", CounterSpec
+    }
+    int_codec!(Read);
+
+    op_enum! {
+        /// Any counter operation.
+        CounterOp for CounterSpec {
+            Inc(Inc),
+            Read(Read),
+        }
+    }
+}
+
+/// Typed register operations ([`RegisterSpec`]).
+pub mod register {
+    use super::*;
+
+    arg_op! {
+        /// `Write(v)` — acknowledged with `()`.
+        Write, "Write", RegisterSpec
+    }
+    ack_codec!(Write);
+
+    nullary_op! {
+        /// `Read()` — the last written value (initially `0`).
+        Read, "Read", RegisterSpec
+    }
+    int_codec!(Read);
+
+    op_enum! {
+        /// Any register operation.
+        RegisterOp for RegisterSpec {
+            Write(Write),
+            Read(Read),
+        }
+    }
+}
+
+/// Typed consensus operations ([`ConsensusSpec`]).
+pub mod consensus {
+    use super::*;
+
+    arg_op! {
+        /// `Decide(v)` — returns the value decided by the first proposal.
+        Decide, "Decide", ConsensusSpec
+    }
+    int_codec!(Decide);
+
+    op_enum! {
+        /// Any consensus operation.
+        ConsensusOp for ConsensusSpec {
+            Decide(Decide),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn typed_encodings_match_the_untyped_constructors() {
+        assert_eq!(queue::Enqueue(5).encode(), ops::queue::enqueue(5));
+        assert_eq!(queue::Dequeue.encode(), ops::queue::dequeue());
+        assert_eq!(stack::Push(1).encode(), ops::stack::push(1));
+        assert_eq!(stack::Pop.encode(), ops::stack::pop());
+        assert_eq!(set::Add(2).encode(), ops::set::add(2));
+        assert_eq!(set::Remove(2).encode(), ops::set::remove(2));
+        assert_eq!(set::Contains(2).encode(), ops::set::contains(2));
+        assert_eq!(
+            priority_queue::Insert(3).encode(),
+            ops::priority_queue::insert(3)
+        );
+        assert_eq!(
+            priority_queue::ExtractMin.encode(),
+            ops::priority_queue::extract_min()
+        );
+        assert_eq!(counter::Inc.encode(), ops::counter::inc());
+        assert_eq!(counter::Read.encode(), ops::counter::read());
+        assert_eq!(register::Write(4).encode(), ops::register::write(4));
+        assert_eq!(register::Read.encode(), ops::register::read());
+        assert_eq!(consensus::Decide(9).encode(), ops::consensus::decide(9));
+    }
+
+    #[test]
+    fn operation_round_trips() {
+        let op = queue::Enqueue(42);
+        assert_eq!(queue::Enqueue::try_decode(&op.encode()), Ok(op));
+        let op = queue::QueueOp::Dequeue(queue::Dequeue);
+        assert_eq!(queue::QueueOp::try_decode(&op.encode()), Ok(op));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let deq = queue::Dequeue;
+        for resp in [Some(7), None] {
+            let wire = deq.encode_response(&resp);
+            assert_eq!(deq.decode_response(&wire), Ok(resp));
+        }
+        let enq = queue::Enqueue(1);
+        assert_eq!(enq.decode_response(&enq.encode_response(&())), Ok(()));
+        let read = counter::Read;
+        assert_eq!(read.decode_response(&OpValue::Int(3)), Ok(3));
+        let contains = set::Contains(1);
+        assert_eq!(contains.decode_response(&OpValue::Bool(false)), Ok(false));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_kinds_and_shapes() {
+        let err = queue::Enqueue::try_decode(&ops::queue::dequeue()).unwrap_err();
+        assert!(matches!(err, TypedError::WrongKind { .. }));
+        let bad = Operation::new("Enqueue", OpValue::Bool(true));
+        let err = queue::Enqueue::try_decode(&bad).unwrap_err();
+        assert!(matches!(err, TypedError::BadArgument { .. }));
+        let err = queue::Dequeue
+            .decode_response(&OpValue::Bool(true))
+            .unwrap_err();
+        assert!(matches!(err, TypedError::BadResponse { .. }));
+        let err = queue::QueueOp::try_decode(&ops::stack::pop()).unwrap_err();
+        assert!(err.to_string().contains("Pop"));
+    }
+
+    #[test]
+    fn enum_decode_validates_response_shape() {
+        let deq = queue::QueueOp::Dequeue(queue::Dequeue);
+        assert_eq!(deq.decode_response(&OpValue::Int(5)), Ok(OpValue::Int(5)));
+        assert!(deq.decode_response(&OpValue::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn typed_ops_agree_with_the_specification() {
+        // Every typed operation must be accepted by its own spec, and the encoded
+        // response of the spec's step must decode through the typed codec.
+        let spec = QueueSpec::new();
+        let s0 = spec.initial_state();
+        let enq = queue::Enqueue(7);
+        let (s1, resp) = spec.step_deterministic(&s0, &enq.encode()).unwrap();
+        assert_eq!(enq.decode_response(&resp), Ok(()));
+        let deq = queue::Dequeue;
+        let (_, resp) = spec.step_deterministic(&s1, &deq.encode()).unwrap();
+        assert_eq!(deq.decode_response(&resp), Ok(Some(7)));
+    }
+}

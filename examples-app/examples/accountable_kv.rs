@@ -1,40 +1,31 @@
 //! Accountable key-value store (Section 8.3 of the paper).
 //!
 //! A client library uses a register supplied by a third party. By replacing the
-//! register with its self-enforced counterpart, the client gets the guarantee that
-//! every non-ERROR response is linearizable — and, when the third-party implementation
+//! register with its monitored counterpart, the client gets the guarantee that
+//! every `Ok` response is linearizable — and, when the third-party implementation
 //! misbehaves, an execution certificate that can be handed to a forensic stage.
 //!
 //! ```text
 //! cargo run --example accountable_kv
 //! ```
 
-use linrv_check::LinSpec;
-use linrv_core::enforce::SelfEnforced;
-use linrv_history::{OpValue, ProcessId};
-use linrv_runtime::faulty::StaleRegister;
-use linrv_runtime::impls::AtomicIntRegister;
-use linrv_spec::ops::register;
-use linrv_spec::RegisterSpec;
+use linrv::prelude::*;
+use linrv::runtime::faulty::StaleRegister;
+use linrv::runtime::impls::AtomicIntRegister;
+use linrv::runtime::ConcurrentObject;
 
-fn run_client<A: linrv_runtime::ConcurrentObject>(
-    name: &str,
-    store: &SelfEnforced<A, LinSpec<RegisterSpec>>,
-) {
+fn run_client<A: ConcurrentObject>(name: &str, store: &Monitor<A, RegisterSpec>) {
     println!("{}", linrv_examples::banner(name));
-    let p = ProcessId::new(0);
+    let session = store.register().expect("one client slot");
     let mut flagged = 0usize;
     for version in 1..=8i64 {
-        store.apply_verified(p, &register::write(version));
-        let read = store.apply_verified(p, &register::read());
-        match (&read.value, &read.underlying) {
-            (OpValue::Error, underlying) => {
+        let _ = session.write(version);
+        match session.read() {
+            Ok(value) => println!("  version {version}: read back {value} (verified)"),
+            Err(rejected) => {
                 flagged += 1;
-                println!(
-                    "  version {version}: response {underlying} REJECTED by runtime verification"
-                );
+                println!("  version {version}: {rejected}");
             }
-            (value, _) => println!("  version {version}: read back {value} (verified)"),
         }
     }
     let certificate = store.certificate();
@@ -57,19 +48,24 @@ fn run_client<A: linrv_runtime::ConcurrentObject>(
 
 fn main() {
     // A healthy vendor implementation: nothing is ever flagged.
-    let healthy = SelfEnforced::new(
-        AtomicIntRegister::new(),
-        LinSpec::new(RegisterSpec::new()),
-        1,
-    );
+    let healthy = Monitor::builder(RegisterSpec::new())
+        .processes(1)
+        .build(AtomicIntRegister::new());
     run_client("accountable KV over a correct register", &healthy);
     assert!(healthy.certificate().is_correct());
 
-    // A buggy vendor implementation: every second read is stale. The self-enforced
-    // wrapper converts the stale responses into ERROR and certifies the violation.
-    let buggy = SelfEnforced::new(StaleRegister::new(2), LinSpec::new(RegisterSpec::new()), 1);
+    // A buggy vendor implementation: every second read is stale. The monitor
+    // converts the stale responses into rejections and certifies the violation.
+    let buggy = Monitor::builder(RegisterSpec::new())
+        .processes(1)
+        .certificates(CertificatePolicy::OnViolation)
+        .build(StaleRegister::new(2));
     run_client("accountable KV over a stale register", &buggy);
     assert!(!buggy.certificate().is_correct());
+    assert!(
+        buggy.first_violation().is_some(),
+        "the first rejection captured a certificate automatically"
+    );
 
     println!("\nthe buggy vendor can now be held accountable: the certificate is a");
     println!("non-linearizable history of its own responses.");

@@ -1,23 +1,18 @@
-//! Producer/consumer work distribution over a lossy queue, with a decoupled
-//! background verifier (Figure 12 of the paper).
+//! Producer/consumer work distribution over a lossy queue, with verification off
+//! the critical path (Figure 12 of the paper).
 //!
-//! Producers enqueue jobs and consumers dequeue them through the decoupled producer
-//! object, which returns immediately (verification is off the critical path). A
-//! separate verifier thread scans the published view tuples and eventually reports the
-//! lost job together with a forensic witness history.
+//! Producers enqueue jobs and consumers dequeue them through a monitor in
+//! `Observe` mode, whose operations return immediately (the membership test never
+//! runs on the critical path). Asynchronous checks then detect the lost job and
+//! produce a forensic witness history.
 //!
 //! ```text
 //! cargo run --example faulty_queue_forensics
 //! ```
 
-use linrv_check::{GenLinObject, LinSpec};
-use linrv_core::decoupled::decoupled;
-use linrv_history::{OpValue, ProcessId};
-use linrv_runtime::faulty::LossyQueue;
-use linrv_runtime::ConcurrentObject;
-use linrv_spec::ops::queue;
-use linrv_spec::QueueSpec;
-use std::sync::Arc;
+use linrv::prelude::*;
+use linrv::render_timeline;
+use linrv::runtime::faulty::LossyQueue;
 
 fn main() {
     println!(
@@ -26,34 +21,35 @@ fn main() {
     );
 
     // The work queue silently drops every 5th job — a realistic "lost wakeup" bug.
-    let (producer, verifier) = decoupled(LossyQueue::new(5), LinSpec::new(QueueSpec::new()), 2);
-    let producer = Arc::new(producer);
+    // Observe mode: operations publish their view tuples and return immediately.
+    let monitor = Monitor::builder(QueueSpec::new())
+        .processes(2)
+        .mode(Mode::Observe)
+        .build(LossyQueue::new(5));
 
     let jobs = 12i64;
     let (submitted, completed) = std::thread::scope(|scope| {
         let submitter = {
-            let producer = Arc::clone(&producer);
+            let session = monitor.register().expect("submitter slot");
             scope.spawn(move || {
-                let p = ProcessId::new(0);
                 for job in 1..=jobs {
-                    producer.apply(p, &queue::enqueue(job));
+                    session.enqueue(job).expect("observe mode never gates");
                 }
                 jobs
             })
         };
         let worker = {
-            let producer = Arc::clone(&producer);
+            let session = monitor.register().expect("worker slot");
             scope.spawn(move || {
-                let p = ProcessId::new(1);
                 let mut done = 0i64;
                 let mut idle_rounds = 0;
                 while idle_rounds < 10 {
-                    match producer.apply(p, &queue::dequeue()) {
-                        OpValue::Int(_) => {
+                    match session.dequeue().expect("observe mode never gates") {
+                        Some(_) => {
                             done += 1;
                             idle_rounds = 0;
                         }
-                        _ => idle_rounds += 1,
+                        None => idle_rounds += 1,
                     }
                 }
                 done
@@ -63,29 +59,37 @@ fn main() {
     });
 
     println!("submitted {submitted} jobs, workers completed {completed}");
+
+    // After the fact, a forensics session drains the queue to quiescence: now the
+    // dropped jobs are provably missing from the published history (they were
+    // acknowledged but can never be dequeued again).
+    let forensics = monitor.register().expect("recycled slot");
+    let mut recovered = completed;
+    while forensics
+        .dequeue()
+        .expect("observe mode never gates")
+        .is_some()
+    {
+        recovered += 1;
+    }
     assert!(
-        completed < submitted,
+        recovered < submitted,
         "the lossy queue should have lost jobs"
     );
+    println!("drained to quiescence: only {recovered} of {submitted} jobs ever came out");
 
-    // The background verifier (here run after the fact; in production it would run
-    // continuously) detects that the published history is not linearizable.
-    let witnesses = verifier.run(3);
-    match witnesses.first() {
+    // The asynchronous check (here run after the fact; in production a background
+    // thread would poll it) detects that the published history is not linearizable.
+    let verdict = monitor.check();
+    match verdict.witness() {
         Some(witness) => {
-            println!("verifier reported ERROR; forensic witness (first lines):");
-            for line in witness.to_string().lines().take(8) {
+            println!("verifier reported a violation; forensic witness (first lines):");
+            for line in render_timeline(witness).lines().take(8) {
                 println!("  {line}");
             }
-            assert!(!LinSpec::new(QueueSpec::new()).contains(witness));
+            assert!(!linrv::is_linearizable(QueueSpec::new(), witness));
         }
-        None => {
-            // The losses may be masked by concurrency in rare schedules; re-check once
-            // more after quiescence, where detection is guaranteed for this workload.
-            let outcome = verifier.check_once();
-            println!("verifier verdict after quiescence: {:?}", outcome.is_ok());
-            assert!(!outcome.is_ok(), "lost jobs must eventually be detected");
-        }
+        None => unreachable!("lost jobs must eventually be detected after quiescence"),
     }
     println!("every lost job is now attributable to the queue implementation.");
 }

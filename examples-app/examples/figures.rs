@@ -4,175 +4,161 @@
 //! cargo run --example figures
 //! ```
 
-use linrv_check::{GenLinObject, LinSpec};
-use linrv_core::drv::Drv;
-use linrv_core::sketch::sketch_history;
-use linrv_core::view::TupleSet;
-use linrv_history::display::render_timeline;
-use linrv_history::{HistoryBuilder, OpValue, ProcessId};
-use linrv_runtime::faulty::Theorem51Queue;
-use linrv_spec::ops::{queue, stack};
-use linrv_spec::{QueueSpec, StackSpec};
-
-fn p(i: u32) -> ProcessId {
-    ProcessId::new(i)
-}
+use linrv::prelude::*;
+use linrv::render_timeline;
+use linrv::runtime::faulty::Theorem51Queue;
+use linrv::runtime::impls::SpecObject;
+use linrv::spec::typed::queue::{Dequeue, Enqueue};
+use linrv::spec::typed::stack::{Pop, Push};
 
 /// Figure 1: two stack executions with identical per-process views; the first is
 /// linearizable, the second is not.
 fn figure1() {
     println!("{}", linrv_examples::banner("Figure 1"));
-    let stack_obj = LinSpec::new(StackSpec::new());
 
-    let mut b = HistoryBuilder::new();
-    let push = b.invoke(p(0), stack::push(1));
-    let pop = b.invoke(p(1), stack::pop());
-    b.respond(pop, OpValue::Int(1));
-    b.respond(push, OpValue::Bool(true));
+    let mut b = TypedHistoryBuilder::<StackSpec>::new();
+    let push = b.invoke(0, Push(1));
+    let pop = b.invoke(1, Pop);
+    b.respond(pop, Some(1));
+    b.respond(push, ());
     let top = b.build();
     println!("{}", render_timeline(&top));
-    println!("top history linearizable? {}\n", stack_obj.contains(&top));
-    assert!(stack_obj.contains(&top));
+    let verdict = linrv::is_linearizable(StackSpec::new(), &top);
+    println!("top history linearizable? {verdict}\n");
+    assert!(verdict);
 
-    let mut b = HistoryBuilder::new();
-    let pop = b.invoke(p(1), stack::pop());
-    b.respond(pop, OpValue::Int(1));
-    let push = b.invoke(p(0), stack::push(1));
-    b.respond(push, OpValue::Bool(true));
+    let mut b = TypedHistoryBuilder::<StackSpec>::new();
+    b.complete(1, Pop, Some(1));
+    b.complete(0, Push(1), ());
     let bottom = b.build();
     println!("{}", render_timeline(&bottom));
-    println!(
-        "bottom history linearizable? {}",
-        stack_obj.contains(&bottom)
-    );
-    assert!(!stack_obj.contains(&bottom));
+    let verdict = linrv::is_linearizable(StackSpec::new(), &bottom);
+    println!("bottom history linearizable? {verdict}");
+    assert!(!verdict);
     println!("same per-process views, different verdicts: real time decides.\n");
 }
 
 /// Figure 3: three-process stack histories, the first linearizable, the second not.
 fn figure3() {
     println!("{}", linrv_examples::banner("Figure 3"));
-    let stack_obj = LinSpec::new(StackSpec::new());
 
-    let mut b = HistoryBuilder::new();
-    let push1 = b.invoke(p(0), stack::push(1));
-    let push2 = b.invoke(p(2), stack::push(2));
-    let pop1 = b.invoke(p(1), stack::pop());
-    b.respond(push1, OpValue::Bool(true));
-    b.respond(push2, OpValue::Bool(true));
-    b.respond(pop1, OpValue::Int(1));
-    let pop2 = b.invoke(p(0), stack::pop());
-    b.respond(pop2, OpValue::Int(2));
+    let mut b = TypedHistoryBuilder::<StackSpec>::new();
+    let push1 = b.invoke(0, Push(1));
+    let push2 = b.invoke(2, Push(2));
+    let pop1 = b.invoke(1, Pop);
+    b.respond(push1, ());
+    b.respond(push2, ());
+    b.respond(pop1, Some(1));
+    b.complete(0, Pop, Some(2));
     let top = b.build();
     println!("{}", render_timeline(&top));
-    println!("top history linearizable? {}\n", stack_obj.contains(&top));
-    assert!(stack_obj.contains(&top));
+    let verdict = linrv::is_linearizable(StackSpec::new(), &top);
+    println!("top history linearizable? {verdict}\n");
+    assert!(verdict);
 
-    let mut b = HistoryBuilder::new();
-    let push1 = b.invoke(p(0), stack::push(1));
-    b.respond(push1, OpValue::Bool(true));
-    let push2 = b.invoke(p(2), stack::push(2));
-    b.respond(push2, OpValue::Bool(true));
-    let pop_empty = b.invoke(p(1), stack::pop());
-    b.respond(pop_empty, OpValue::Empty);
-    let pop1 = b.invoke(p(0), stack::pop());
-    b.respond(pop1, OpValue::Int(1));
+    let mut b = TypedHistoryBuilder::<StackSpec>::new();
+    b.complete(0, Push(1), ());
+    b.complete(2, Push(2), ());
+    b.complete(1, Pop, None);
+    b.complete(0, Pop, Some(1));
     let bottom = b.build();
     println!("{}", render_timeline(&bottom));
-    println!(
-        "bottom history linearizable? {}",
-        stack_obj.contains(&bottom)
-    );
-    assert!(!stack_obj.contains(&bottom));
+    let verdict = linrv::is_linearizable(StackSpec::new(), &bottom);
+    println!("bottom history linearizable? {verdict}");
+    assert!(!verdict);
     println!("the stack cannot be empty when Pop():empty starts.\n");
 }
 
 /// Figures 5, 6 and 8: stretching, shrinking and enforcement via the DRV transform.
+///
+/// The session API exposes the three DRV phases (`stage` = announce, `execute` =
+/// call into `A`, `commit` = collect the view) so the exact interleavings of the
+/// figures can be scripted deterministically.
 fn figures_5_6_8() {
     println!(
         "{}",
         linrv_examples::banner("Figures 5, 6, 8: the DRV transform at work")
     );
-    let queue_obj = LinSpec::new(QueueSpec::new());
 
-    // Long delays between announce and the actual call (Figure 5 bottom / Figure 8):
-    // the actual history of A is not linearizable, but the sketch is — A* enforced it.
-    let drv = Drv::new(Theorem51Queue::new(p(1)), 2);
-    let deq = drv.announce(p(1), &queue::dequeue());
-    let enq = drv.announce(p(0), &queue::enqueue(1));
-    let deq_value = drv.call_inner(&deq);
-    let enq_value = drv.call_inner(&enq);
-    let mut tuples = TupleSet::new();
-    tuples.insert(drv.collect(deq, deq_value).tuple());
-    tuples.insert(drv.collect(enq, enq_value).tuple());
-    let sketch = sketch_history(&tuples).unwrap();
+    // Long delays between announce and the actual call (Figure 5 bottom / Figure
+    // 8): the actual history of A is not linearizable, but the sketch is — the
+    // DRV transform enforced it. Slot 1 (the second registered session) plays the
+    // adversarial p2 of Theorem 5.1.
+    let monitor = Monitor::builder(QueueSpec::new())
+        .processes(2)
+        .mode(Mode::Observe)
+        .build(Theorem51Queue::with_special_index(1));
+    let enqueuer = monitor.register().expect("slot 0");
+    let dequeuer = monitor.register().expect("slot 1");
+    let staged_deq = dequeuer.stage(Dequeue);
+    let staged_enq = enqueuer.stage(Enqueue(1));
+    let exec_deq = dequeuer.execute(staged_deq);
+    let exec_enq = enqueuer.execute(staged_enq);
+    let got = dequeuer.commit(exec_deq).expect("observe mode never gates");
+    enqueuer.commit(exec_enq).expect("observe mode never gates");
+    assert_eq!(
+        got,
+        Some(1),
+        "A answered the dequeue with a never-enqueued 1"
+    );
+    let sketch = monitor.certificate().sketch;
     println!("sketch when announcements precede both calls (operations overlap):");
     println!("{}", render_timeline(&sketch));
+    let verdict = monitor.check();
     println!(
         "sketch linearizable? {} — A* enforced correctness\n",
-        queue_obj.contains(&sketch)
+        verdict.is_correct()
     );
-    assert!(queue_obj.contains(&sketch));
+    assert!(verdict.is_correct());
 
     // Tight interleaving (Figure 6 bottom): the violation survives into the sketch.
-    let drv = Drv::new(Theorem51Queue::new(p(1)), 2);
-    let deq = drv.announce(p(1), &queue::dequeue());
-    let deq_value = drv.call_inner(&deq);
-    let deq_resp = drv.collect(deq, deq_value);
-    let enq = drv.announce(p(0), &queue::enqueue(1));
-    let enq_value = drv.call_inner(&enq);
-    let enq_resp = drv.collect(enq, enq_value);
-    let mut tuples = TupleSet::new();
-    tuples.insert(deq_resp.tuple());
-    tuples.insert(enq_resp.tuple());
-    let sketch = sketch_history(&tuples).unwrap();
+    let monitor = Monitor::builder(QueueSpec::new())
+        .processes(2)
+        .mode(Mode::Observe)
+        .build(Theorem51Queue::with_special_index(1));
+    let enqueuer = monitor.register().expect("slot 0");
+    let dequeuer = monitor.register().expect("slot 1");
+    let staged_deq = dequeuer.stage(Dequeue);
+    let exec_deq = dequeuer.execute(staged_deq);
+    dequeuer.commit(exec_deq).expect("observe mode never gates");
+    enqueuer.enqueue(1).expect("observe mode never gates");
+    let sketch = monitor.certificate().sketch;
     println!("sketch when each operation is tight (dequeue finishes before enqueue starts):");
     println!("{}", render_timeline(&sketch));
+    let verdict = monitor.check();
     println!(
         "sketch linearizable? {} — the violation is detectable",
-        queue_obj.contains(&sketch)
+        verdict.is_correct()
     );
-    assert!(!queue_obj.contains(&sketch));
+    assert!(!verdict.is_correct());
     println!();
 }
 
-/// Figure 9: reconstructing a history from views.
+/// Figure 9: reconstructing a history from views — an operation that was announced
+/// but returned no tuple appears as *pending* in the sketch.
 fn figure9() {
     println!(
         "{}",
         linrv_examples::banner("Figure 9: from views to histories")
     );
-    use linrv_core::view::{InvocationPair, ViewTuple};
-    use linrv_history::{OpId, Operation};
 
-    let pair = |proc: u32, id: u64, label: i64| InvocationPair {
-        process: p(proc),
-        op_id: OpId::new(id),
-        operation: Operation::new("Apply", OpValue::Int(label)),
-    };
-    let op1 = pair(0, 0, 1);
-    let op1b = pair(0, 1, 2);
-    let op2 = pair(1, 2, 3);
-    let op3 = pair(2, 3, 4);
-    let view: linrv_core::view::View = [op1.clone()].into_iter().collect();
-    let view_p: linrv_core::view::View = [op1.clone(), op1b.clone(), op2.clone()]
-        .into_iter()
-        .collect();
-    let view_pp: linrv_core::view::View = [op1.clone(), op1b.clone(), op2.clone(), op3.clone()]
-        .into_iter()
-        .collect();
+    let monitor = Monitor::builder(QueueSpec::new())
+        .processes(3)
+        .mode(Mode::Observe)
+        .build(SpecObject::new(QueueSpec::new()));
+    let s1 = monitor.register().expect("slot 0");
+    let s2 = monitor.register().expect("slot 1");
+    let s3 = monitor.register().expect("slot 2");
 
-    let mut tuples = TupleSet::new();
-    tuples.insert(ViewTuple::new(op1, OpValue::Str("a".into()), view));
-    tuples.insert(ViewTuple::new(op1b, OpValue::Str("b".into()), view_p));
-    tuples.insert(ViewTuple::new(op3, OpValue::Str("d".into()), view_pp));
+    s1.apply(Enqueue(1)).expect("verified");
+    // p2 announces a dequeue but crashes before running it: later views contain
+    // its invocation pair, yet no tuple is ever published for it.
+    let _staged_forever = s2.stage(Dequeue);
+    s1.apply(Enqueue(2)).expect("verified");
+    s3.apply(Dequeue).expect("verified");
 
-    println!("view tuples (λ_E):");
-    for t in &tuples {
-        println!("  {t}");
-    }
-    let sketch = sketch_history(&tuples).unwrap();
-    println!("\nreconstructed history X(λ_E):");
+    let sketch = monitor.certificate().sketch;
+    println!("reconstructed history X(λ_E):");
     println!("{}", render_timeline(&sketch));
     assert_eq!(sketch.complete_operations().count(), 3);
     assert_eq!(sketch.pending_operations().count(), 1);

@@ -4,8 +4,8 @@
 //! cargo run --example impossibility
 //! ```
 
-use linrv_core::impossibility::theorem51_demo;
-use linrv_history::display::render_timeline;
+use linrv::raw::core::impossibility::theorem51_demo;
+use linrv::render_timeline;
 
 fn main() {
     println!(

@@ -5,13 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use linrv_check::LinSpec;
-use linrv_core::enforce::SelfEnforced;
-use linrv_history::ProcessId;
-use linrv_runtime::impls::MsQueue;
-use linrv_runtime::{Workload, WorkloadKind};
-use linrv_spec::QueueSpec;
-use std::sync::Arc;
+use linrv::prelude::*;
+use linrv::runtime::impls::MsQueue;
 
 fn main() {
     println!(
@@ -20,33 +15,36 @@ fn main() {
     );
 
     let processes = 3;
-    let ops_per_process = 40;
+    let ops_per_process = 40i64;
 
-    // Step 1: take any implementation A (here: a from-scratch Michael–Scott queue) and
-    // the abstract object O it should implement (linearizability w.r.t. the sequential
-    // FIFO queue), and build the self-enforced implementation V_{O,A} of Figure 11.
-    let enforced = Arc::new(SelfEnforced::new(
-        MsQueue::new(),
-        LinSpec::new(QueueSpec::new()),
-        processes,
-    ));
+    // Step 1: take any implementation A (here: a from-scratch Michael–Scott queue)
+    // and the sequential specification O it should implement, and build the
+    // self-enforced monitor V_{O,A} of Figure 11 in one fluent chain.
+    let monitor = Monitor::builder(QueueSpec::new())
+        .processes(processes)
+        .snapshot(SnapshotBackend::Afek)
+        .mode(Mode::Enforce)
+        .build(MsQueue::new());
 
-    // Step 2: use it exactly like the original queue, from several threads.
-    let workload = Workload::new(WorkloadKind::Queue, 2024);
+    // Step 2: use it exactly like the original queue, from several threads. Each
+    // thread registers its own session; the session owns its process slot, so no
+    // ids are threaded through the call sites.
     let verified_ops: usize = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for t in 0..processes {
-            let enforced = Arc::clone(&enforced);
-            let ops = workload.operations_for(t, ops_per_process);
+        for t in 0..processes as i64 {
+            let session = monitor.register().expect("one slot per thread");
             handles.push(scope.spawn(move || {
-                let p = ProcessId::new(t as u32);
                 let mut verified = 0usize;
-                for op in &ops {
-                    let response = enforced.apply_verified(p, op);
-                    assert!(
-                        response.is_verified(),
-                        "a correct queue must never be flagged (soundness)"
-                    );
+                for i in 0..ops_per_process {
+                    if (t + i) % 2 == 0 {
+                        session
+                            .enqueue(t * 1_000_000 + i)
+                            .expect("a correct queue must never be flagged (soundness)");
+                    } else {
+                        session
+                            .dequeue()
+                            .expect("a correct queue must never be flagged (soundness)");
+                    }
                     verified += 1;
                 }
                 verified
@@ -58,7 +56,7 @@ fn main() {
     println!("applied and verified {verified_ops} operations across {processes} threads");
 
     // Step 3: obtain the certificate of the whole computation (Theorem 8.2 (3)).
-    let certificate = enforced.certificate();
+    let certificate = monitor.certificate();
     println!(
         "certificate: {} operations covered, verdict = {}",
         certificate.operations(),

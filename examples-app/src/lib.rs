@@ -12,6 +12,14 @@
 //!   indistinguishability argument.
 //! * `figures` — reproduces the history figures of the paper (Figures 1, 3, 5, 6, 8, 9)
 //!   and re-checks each caption's claim.
+//!
+//! All examples build on the `linrv` facade crate, with no process-id threading
+//! and no stringly-typed wire-level operations or values in any of them. Four use
+//! the typed session API end to end; `impossibility` reaches through `linrv::raw`,
+//! since its subject *is* the raw model that the facade exists to evade.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Formats a banner line used by the examples' output.
 pub fn banner(title: &str) -> String {

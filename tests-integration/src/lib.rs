@@ -2,6 +2,9 @@
 //!
 //! The actual tests live under `tests/`; this library only hosts small shared helpers.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use linrv_history::ProcessId;
 
 /// Shorthand used across the integration tests.

@@ -198,9 +198,29 @@ fn decoupled_roles_split_production_and_verification() {
 }
 
 /// The verifier works with any snapshot implementation, including the blocking oracle
-/// (modularity of the construction with respect to its base objects).
+/// (modularity of the construction with respect to its base objects). The facade
+/// exposes the choice as a builder knob; the raw API allows fully custom wiring.
 #[test]
 fn verifier_is_generic_over_the_snapshot_implementation() {
+    use linrv::prelude::*;
+
+    for backend in [
+        SnapshotBackend::Afek,
+        SnapshotBackend::DoubleCollect,
+        SnapshotBackend::Locked,
+    ] {
+        let monitor = Monitor::builder(QueueSpec::new())
+            .processes(2)
+            .snapshot(backend)
+            .build(MsQueue::new());
+        let producer = monitor.register().unwrap();
+        let consumer = monitor.register().unwrap();
+        producer.enqueue(9).unwrap();
+        assert_eq!(consumer.dequeue().unwrap(), Some(9));
+        assert!(monitor.certificate().is_correct(), "{backend:?}");
+    }
+
+    // Raw escape hatch: mix-and-match snapshot instances across the two arrays.
     use linrv_core::view::{TupleSet, View};
     use linrv_snapshot::{DoubleCollectSnapshot, LockedSnapshot, Snapshot};
 

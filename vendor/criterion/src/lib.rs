@@ -6,6 +6,9 @@
 //! crate's statistical machinery, every benchmark runs `sample_size`
 //! iterations and prints the mean wall time per iteration.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

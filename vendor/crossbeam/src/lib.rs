@@ -7,6 +7,9 @@
 //! (nothing is ever freed while a reference can exist) at the cost of
 //! unbounded retirement — acceptable for tests and short benchmark runs.
 
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod epoch {
     //! Epoch-shaped pointer types over plain atomics, with leak-based
     //! "reclamation".
@@ -179,7 +182,9 @@ pub mod epoch {
         /// destroyed (guaranteed here while its guard is alive, since the stub
         /// never destroys retired nodes).
         pub unsafe fn deref(&self) -> &'g T {
-            &*self.raw
+            // SAFETY: per the contract above, the pointer is non-null and the
+            // node is alive for the guard lifetime `'g`.
+            unsafe { &*self.raw }
         }
 
         /// Converts to a reference, returning `None` for null.
@@ -188,7 +193,9 @@ pub mod epoch {
         ///
         /// As for [`Shared::deref`], for non-null pointers.
         pub unsafe fn as_ref(&self) -> Option<&'g T> {
-            self.raw.as_ref()
+            // SAFETY: per the contract above, non-null pointers reference nodes
+            // that stay alive for the guard lifetime `'g`.
+            unsafe { self.raw.as_ref() }
         }
 
         /// Takes back ownership of the node.

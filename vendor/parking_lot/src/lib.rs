@@ -4,6 +4,9 @@
 //! workspace uses: infallible `lock()` that shrugs off poisoning instead of
 //! returning a `Result`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt;
 use std::sync::PoisonError;
 

@@ -8,6 +8,9 @@
 //! ordinary `assert!` after printing the case number and the generated
 //! input's `Debug` form to stderr; no shrinking is attempted.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::ops::Range;
@@ -180,7 +183,7 @@ pub mod collection {
         max_exclusive: usize,
     }
 
-    /// Conversions accepted as the size argument of [`vec`].
+    /// Conversions accepted as the size argument of [`vec()`].
     pub trait IntoSizeRange {
         /// Converts into concrete length bounds.
         fn into_size_range(self) -> SizeRange;
@@ -205,7 +208,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -5,6 +5,9 @@
 //! ranges, and `rngs::StdRng`. The generator is SplitMix64 — deterministic per
 //! seed, but its streams differ from the real crate's ChaCha12.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A source of random `u64`s.

@@ -5,6 +5,9 @@
 //! keeps `#[derive(Serialize, Deserialize)]` and `T: Serialize` bounds
 //! compiling without a serialisation backend.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.

@@ -5,6 +5,9 @@
 //! simply expand to nothing while keeping `#[derive(Serialize, Deserialize)]`
 //! attributes compiling.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `#[derive(Serialize)]`.
