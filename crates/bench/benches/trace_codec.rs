@@ -1,0 +1,85 @@
+//! Trace codec throughput: encode/decode a 100k-operation queue history in
+//! both on-disk formats (JSONL and binary), reported as wall time per pass —
+//! divide 100k by the mean to get operations per second.
+//!
+//! This is the hot loop of `linrv record` (encode on the tap) and
+//! `linrv check` (decode on the stream), so regressions here directly slow the
+//! record/replay pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linrv_history::History;
+use linrv_runtime::{record_scheduled, RecorderOptions, Workload, WorkloadKind};
+use linrv_spec::ObjectKind;
+use linrv_trace::{read_history, write_history, TraceFormat, TraceHeader};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+/// Operations in the benchmark history (events are twice this).
+const OPS: usize = 100_000;
+
+/// A deterministic 100k-operation queue history: 4 processes, seeded scheduled
+/// interleaving against the lock-based specification object.
+fn queue_history() -> History {
+    let object = linrv_runtime::impls::spec_object(ObjectKind::Queue);
+    record_scheduled(
+        &*object,
+        Workload::new(WorkloadKind::Queue, 42),
+        RecorderOptions {
+            processes: 4,
+            ops_per_process: OPS / 4,
+        },
+        42,
+    )
+    .history
+}
+
+fn encoded(history: &History, format: TraceFormat) -> Vec<u8> {
+    let header = TraceHeader::new(ObjectKind::Queue).with_seed(42);
+    let mut bytes = Vec::new();
+    write_history(&mut bytes, format, &header, history).expect("in-memory write");
+    bytes
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let history = queue_history();
+    assert_eq!(history.len(), 2 * OPS);
+    let mut group = c.benchmark_group("trace_codec");
+    for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+        let bytes = encoded(&history, format);
+        println!(
+            "trace_codec: {format} encoding of {OPS} ops = {} bytes ({:.1} B/op)",
+            bytes.len(),
+            bytes.len() as f64 / OPS as f64
+        );
+        group.bench_with_input(
+            BenchmarkId::new("encode_100k_queue_ops", format),
+            &history,
+            |b, history| b.iter(|| encoded(history, format)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_100k_queue_ops", format),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    let (_, decoded) = read_history(bytes.as_slice()).expect("well-formed");
+                    assert_eq!(decoded.len(), 2 * OPS);
+                    decoded
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_codec
+}
+criterion_main!(benches);

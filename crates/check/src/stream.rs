@@ -1,0 +1,263 @@
+//! Streaming membership checking: feed events one at a time, get the verdict
+//! at the end — or as soon as a violation appears.
+//!
+//! The offline half of the record / replay / check workflow: `linrv check`
+//! streams a `linrv_trace::TraceReader` through a [`StreamingChecker`] without
+//! materialising the trace first. Correctness rests on Lemma 7.1: the abstract
+//! object "linearizable w.r.t. `S`" is **prefix-closed**, so the first prefix
+//! that is not a member condemns every extension — the checker can stop
+//! consuming events and report the violating prefix as the certificate.
+//!
+//! Re-deciding linearizability after every single event would be wasteful (the
+//! decision procedure is worst-case exponential, and even the memoised common
+//! case walks the whole prefix), so the checker re-checks every `stride`
+//! completed operations and once more at the end. A violation is therefore
+//! detected at most `stride - 1` operations after it became inevitable — the
+//! verdict itself is unaffected.
+
+use crate::linearizability::LinSpec;
+use crate::witness::Verdict;
+use linrv_history::{Event, History};
+use linrv_spec::SequentialSpec;
+
+/// Default re-check stride of [`StreamingChecker::new`], in completed
+/// operations.
+pub const DEFAULT_STRIDE: usize = 64;
+
+/// An incremental linearizability checker over a stream of events.
+///
+/// ```
+/// use linrv_check::stream::StreamingChecker;
+/// use linrv_history::{Event, OpId, OpValue, Operation, ProcessId};
+/// use linrv_spec::QueueSpec;
+///
+/// // Stride 1: re-decide after every completed operation.
+/// let mut checker = StreamingChecker::with_stride(QueueSpec::new(), 1);
+/// let p = ProcessId::new(0);
+/// checker.push(Event::invocation(p, OpId::new(0), Operation::nullary("Dequeue")));
+/// // A dequeue of a never-enqueued element: not linearizable.
+/// let early = checker.push(Event::response(p, OpId::new(0), OpValue::Int(3)));
+/// assert!(early.is_some(), "violations surface mid-stream");
+/// let (_, verdict) = checker.finish();
+/// assert!(verdict.is_violation());
+/// ```
+pub struct StreamingChecker<S: SequentialSpec> {
+    object: LinSpec<S>,
+    history: History,
+    /// Completed operations seen so far (responses, cheaper than recounting).
+    completed: usize,
+    /// Re-check when `completed` reaches this.
+    next_check: usize,
+    stride: usize,
+    /// Latched at the first non-member prefix; never cleared (prefix closure).
+    verdict: Option<Verdict>,
+}
+
+impl<S: SequentialSpec> StreamingChecker<S> {
+    /// Starts a streaming check against `spec` with the default
+    /// [`DEFAULT_STRIDE`].
+    pub fn new(spec: S) -> Self {
+        Self::with_stride(spec, DEFAULT_STRIDE)
+    }
+
+    /// Starts a streaming check re-deciding every `stride` completed
+    /// operations. `stride` trades detection latency (in operations) against
+    /// re-check cost; the final verdict is the same for every stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn with_stride(spec: S, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        StreamingChecker {
+            object: LinSpec::new(spec),
+            history: History::new(),
+            completed: 0,
+            next_check: stride,
+            stride,
+            verdict: None,
+        }
+    }
+
+    /// Feeds one event. Returns the latched verdict as soon as the consumed
+    /// prefix stops being linearizable — by prefix closure the caller may then
+    /// stop feeding events; pushing more is allowed but changes nothing.
+    pub fn push(&mut self, event: Event) -> Option<&Verdict> {
+        if self.verdict.is_some() {
+            return self.verdict.as_ref();
+        }
+        let is_response = event.is_response();
+        self.history.push(event);
+        if is_response {
+            self.completed += 1;
+            if self.completed >= self.next_check {
+                self.next_check = self.completed + self.stride;
+                self.check_now();
+            }
+        }
+        self.verdict.as_ref()
+    }
+
+    fn check_now(&mut self) {
+        let verdict = self.object.check(&self.history);
+        if verdict.is_violation() {
+            self.verdict = Some(verdict);
+        }
+    }
+
+    /// Number of events consumed so far.
+    pub fn events_consumed(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Ends the stream: runs the final membership decision (unless a violation
+    /// was already latched) and returns the consumed history with its verdict.
+    pub fn finish(mut self) -> (History, Verdict) {
+        let verdict = match self.verdict.take() {
+            Some(verdict) => verdict,
+            None => self.object.check(&self.history),
+        };
+        (self.history, verdict)
+    }
+}
+
+/// Streams a fallible event source (e.g. a `linrv_trace::TraceReader`) through
+/// a [`StreamingChecker`].
+///
+/// Stops consuming as soon as a violation is latched (prefix closure makes the
+/// rest of the stream irrelevant) and returns the consumed history plus the
+/// verdict.
+///
+/// # Errors
+///
+/// Propagates the first source error; events before it have been consumed.
+pub fn check_events<S, E>(
+    spec: S,
+    events: impl IntoIterator<Item = Result<Event, E>>,
+) -> Result<(History, Verdict), E>
+where
+    S: SequentialSpec,
+{
+    let mut checker = StreamingChecker::new(spec);
+    for event in events {
+        if checker.push(event?).is_some() {
+            break;
+        }
+    }
+    Ok(checker.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_history::{HistoryBuilder, OpValue, Operation, ProcessId};
+    use linrv_spec::ops::queue;
+    use linrv_spec::QueueSpec;
+    use std::convert::Infallible;
+
+    fn ok(history: &History) -> impl Iterator<Item = Result<Event, Infallible>> + '_ {
+        history.events().iter().cloned().map(Ok)
+    }
+
+    fn correct_history(ops: usize) -> History {
+        let p = ProcessId::new(0);
+        let mut b = HistoryBuilder::new();
+        for i in 0..ops as i64 {
+            let enq = b.invoke(p, queue::enqueue(i));
+            b.respond(enq, OpValue::Bool(true));
+            let deq = b.invoke(p, queue::dequeue());
+            b.respond(deq, OpValue::Int(i));
+        }
+        b.build()
+    }
+
+    fn violating_history() -> History {
+        let p = ProcessId::new(0);
+        let mut b = HistoryBuilder::new();
+        let deq = b.invoke(p, queue::dequeue());
+        b.respond(deq, OpValue::Int(41)); // never enqueued
+        for i in 0..10 {
+            let enq = b.invoke(p, queue::enqueue(i));
+            b.respond(enq, OpValue::Bool(true));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn streaming_verdict_matches_the_batch_checker() {
+        for history in [correct_history(100), violating_history(), History::new()] {
+            let (consumed, verdict) = check_events(QueueSpec::new(), ok(&history)).unwrap();
+            let batch = LinSpec::new(QueueSpec::new()).check(&history);
+            assert_eq!(verdict.is_violation(), batch.is_violation());
+            // On the member path the whole stream is consumed.
+            if !verdict.is_violation() {
+                assert_eq!(consumed, history);
+            }
+        }
+    }
+
+    #[test]
+    fn violations_stop_consumption_early() {
+        let history = violating_history();
+        let mut checker = StreamingChecker::with_stride(QueueSpec::new(), 1);
+        let mut fed = 0;
+        for event in history.events() {
+            fed += 1;
+            if checker.push(event.clone()).is_some() {
+                break;
+            }
+        }
+        assert_eq!(fed, 2, "stride 1 latches at the first bad response");
+        let (consumed, verdict) = checker.finish();
+        assert!(verdict.is_violation());
+        assert_eq!(consumed.len(), 2);
+        // The certificate is the violating prefix.
+        assert_eq!(verdict.violation().unwrap().history, consumed);
+    }
+
+    #[test]
+    fn stride_changes_latency_not_the_verdict() {
+        let history = violating_history();
+        for stride in [1, 2, 7, 1000] {
+            let mut checker = StreamingChecker::with_stride(QueueSpec::new(), stride);
+            for event in history.events() {
+                checker.push(event.clone());
+            }
+            assert!(checker.finish().1.is_violation(), "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn pushing_after_a_latched_verdict_is_inert() {
+        let mut checker = StreamingChecker::with_stride(QueueSpec::new(), 1);
+        for event in violating_history().events() {
+            checker.push(event.clone());
+        }
+        let consumed = checker.events_consumed();
+        let p = ProcessId::new(1);
+        checker.push(Event::invocation(
+            p,
+            linrv_history::OpId::new(99),
+            Operation::nullary("Dequeue"),
+        ));
+        assert_eq!(checker.events_consumed(), consumed);
+    }
+
+    #[test]
+    fn source_errors_propagate() {
+        let history = correct_history(3);
+        let events = ok(&history)
+            .map(|e| e.map_err(|_| "unreachable"))
+            .chain(std::iter::once(Err("torn trace")));
+        assert_eq!(
+            check_events(QueueSpec::new(), events).unwrap_err(),
+            "torn trace"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_is_rejected() {
+        let _ = StreamingChecker::with_stride(QueueSpec::new(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! A small hand-rolled flag parser (no external dependencies are available in
+//! this build environment).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: positionals plus `--key value` options and
+/// boolean `--switch`es.
+#[derive(Debug, Default)]
+pub(crate) struct Parsed {
+    positionals: Vec<String>,
+    options: BTreeMap<&'static str, String>,
+    switches: Vec<&'static str>,
+}
+
+/// Parses `args` against the allowed `switches` (boolean flags) and `options`
+/// (flags that consume the next token as their value).
+///
+/// Unknown flags, repeated flags and options missing their value are errors —
+/// a typo must never silently fall back to a default.
+pub(crate) fn parse(
+    args: &[String],
+    switches: &'static [&'static str],
+    options: &'static [&'static str],
+) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if let Some(&switch) = switches.iter().find(|&&s| s == name) {
+                if parsed.switches.contains(&switch) {
+                    return Err(format!("flag --{switch} given twice"));
+                }
+                parsed.switches.push(switch);
+            } else if let Some(&option) = options.iter().find(|&&o| o == name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("option --{option} expects a value"))?;
+                if parsed.options.insert(option, value.clone()).is_some() {
+                    return Err(format!("option --{option} given twice"));
+                }
+            } else {
+                return Err(format!("unknown flag --{name}"));
+            }
+        } else {
+            parsed.positionals.push(arg.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+impl Parsed {
+    pub(crate) fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    pub(crate) fn has(&self, switch: &str) -> bool {
+        self.switches.contains(&switch)
+    }
+
+    pub(crate) fn get(&self, option: &str) -> Option<&str> {
+        self.options.get(option).map(String::as_str)
+    }
+
+    /// The option's value parsed as `T`, or `default` when absent.
+    pub(crate) fn get_or<T: std::str::FromStr>(&self, option: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(option) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|err| format!("invalid value for --{option}: {err}")),
+        }
+    }
+
+    /// The option's value parsed as `T`; an error when absent.
+    pub(crate) fn require<T: std::str::FromStr>(&self, option: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self
+            .get(option)
+            .ok_or_else(|| format!("missing required option --{option}"))?;
+        raw.parse()
+            .map_err(|err| format!("invalid value for --{option}: {err}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_options_and_switches_parse() {
+        let parsed = parse(
+            &args(&["trace.jsonl", "--seed", "42", "--faulty"]),
+            &["faulty"],
+            &["seed"],
+        )
+        .unwrap();
+        assert_eq!(parsed.positionals(), &["trace.jsonl".to_string()]);
+        assert!(parsed.has("faulty"));
+        assert_eq!(parsed.get_or::<u64>("seed", 0).unwrap(), 42);
+        assert_eq!(parsed.get_or::<u64>("missing", 7).unwrap(), 7);
+        assert_eq!(parsed.require::<u64>("seed").unwrap(), 42);
+    }
+
+    #[test]
+    fn errors_are_loud() {
+        assert!(parse(&args(&["--wat"]), &[], &[]).is_err());
+        assert!(parse(&args(&["--seed"]), &[], &["seed"]).is_err());
+        assert!(parse(&args(&["--seed", "1", "--seed", "2"]), &[], &["seed"]).is_err());
+        assert!(parse(&args(&["--faulty", "--faulty"]), &["faulty"], &[]).is_err());
+        let parsed = parse(&args(&["--seed", "x"]), &[], &["seed"]).unwrap();
+        assert!(parsed.get_or::<u64>("seed", 0).is_err());
+        assert!(parsed.require::<u32>("missing").is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! The `convert` subcommand: re-encode a trace (jsonl ↔ binary), streaming.
+
+use crate::args::Parsed;
+use crate::io::{describe, open_input, open_output};
+use linrv_trace::{TraceFormat, TraceReader, TraceWriter};
+use std::process::ExitCode;
+
+pub(crate) fn run(parsed: &Parsed) -> Result<ExitCode, String> {
+    if !parsed.positionals().is_empty() {
+        return Err("convert takes no positional arguments (use --in/--out)".into());
+    }
+    let to: TraceFormat = parsed.require("to")?;
+    let in_path = parsed.get("in");
+    let out_path = parsed.get("out");
+    let input = open_input(in_path)?;
+    let in_name = describe(in_path, "stdin");
+    let reader = TraceReader::new(input).map_err(|err| format!("cannot read {in_name}: {err}"))?;
+    let out = open_output(out_path)?;
+    let mut writer = TraceWriter::new(out, to, reader.header())
+        .map_err(|err| format!("cannot write trace header: {err}"))?;
+    for event in reader {
+        let event = event.map_err(|err| format!("cannot read {in_name}: {err}"))?;
+        writer
+            .event(&event)
+            .map_err(|err| format!("cannot write event: {err}"))?;
+    }
+    let events = writer.events_written();
+    writer
+        .finish()
+        .map_err(|err| format!("cannot finish trace: {err}"))?;
+    eprintln!(
+        "linrv: converted {events} events from {in_name} to {} ({to})",
+        describe(out_path, "stdout"),
+    );
+    Ok(ExitCode::SUCCESS)
+}

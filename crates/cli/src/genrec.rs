@@ -1,0 +1,111 @@
+//! The `gen` and `record` subcommands: seeded workload → trace.
+//!
+//! Both drive the runtime's deterministic scheduled recorder, so a given
+//! `--seed` always produces the same bytes. They differ only in which object
+//! executes the workload:
+//!
+//! * `gen` runs the **sequential specification itself** (a lock-based
+//!   [`SpecObject`](linrv_runtime::impls::SpecObject)) — pure trace generation,
+//!   correct by construction;
+//! * `record` runs the **canonical concurrent implementation** for the kind
+//!   (Michael–Scott queue, Treiber stack, …) — an actual recorded execution.
+//!
+//! `--faulty` switches either to the kind's deterministic fault injector, so
+//! `linrv gen --faulty | linrv check` demonstrably exits 1.
+
+use crate::args::Parsed;
+use crate::io::{describe, open_output};
+use linrv_runtime::{
+    faulty, impls, record_scheduled_traced, RecorderOptions, Workload, WorkloadKind,
+};
+use linrv_spec::ObjectKind;
+use linrv_trace::{Provenance, SharedTraceWriter, TraceFormat, TraceHeader};
+use std::process::ExitCode;
+
+/// Which of the two object families to execute (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Source {
+    /// `gen`: the sequential specification behind a lock.
+    Specification,
+    /// `record`: the canonical concurrent implementation.
+    Implementation,
+}
+
+/// Derives the interleaving seed from the user's seed. Any fixed injective-ish
+/// mixing works; what matters is that it is deterministic and distinct from
+/// the workload seed (so the two RNG streams do not correlate).
+fn schedule_seed(seed: u64) -> u64 {
+    seed ^ 0x5EED_01A7_C0DE
+}
+
+pub(crate) fn run(parsed: &Parsed, source: Source) -> Result<ExitCode, String> {
+    if !parsed.positionals().is_empty() {
+        return Err("gen/record take no positional arguments (use --out FILE)".into());
+    }
+    let kind: ObjectKind = parsed.require("kind")?;
+    let seed: u64 = parsed.get_or("seed", 0)?;
+    let processes: u32 = parsed.get_or("processes", 3)?;
+    let requested_ops: u32 = parsed.get_or("ops", 50)?;
+    let every: u64 = parsed.get_or("every", 5)?;
+    let format: TraceFormat = parsed.get_or("format", TraceFormat::Jsonl)?;
+    if processes == 0 || requested_ops == 0 {
+        return Err("--processes and --ops must be positive".into());
+    }
+    if every == 0 {
+        return Err("--every must be positive".into());
+    }
+    let faulty = parsed.has("faulty");
+    // Consensus workloads are one-shot (`Workload` caps them at one Decide per
+    // process); record what actually runs in the header, not what was asked.
+    let ops = if kind == ObjectKind::Consensus {
+        requested_ops.min(1)
+    } else {
+        requested_ops
+    };
+    // A corruption period beyond the run's total operation count would label
+    // the trace faulty while never corrupting anything; clamp it so --faulty
+    // always bites (pass a larger --ops to study rarer faults).
+    let every = every.min(u64::from(processes) * u64::from(ops)).max(1);
+
+    let object = match (source, faulty) {
+        (_, true) => faulty::faulty_object(kind, every),
+        (Source::Specification, false) => impls::spec_object(kind),
+        (Source::Implementation, false) => impls::correct_object(kind),
+    };
+    let header = TraceHeader::new(kind)
+        .with_seed(seed)
+        .with_processes(processes)
+        .with_ops_per_process(ops)
+        .with_implementation(object.name())
+        .with_provenance(if faulty {
+            Provenance::Faulty
+        } else {
+            Provenance::Correct
+        });
+
+    let out_path = parsed.get("out");
+    let out = open_output(out_path)?;
+    let sink = SharedTraceWriter::new(out, format, &header)
+        .map_err(|err| format!("cannot write trace header: {err}"))?;
+    let run = record_scheduled_traced(
+        &*object,
+        Workload::new(WorkloadKind::for_object(kind), seed),
+        RecorderOptions {
+            processes: processes as usize,
+            ops_per_process: ops as usize,
+        },
+        schedule_seed(seed),
+        &sink,
+    );
+    let events = sink.events_written();
+    sink.finish()
+        .map_err(|err| format!("cannot finish trace: {err}"))?;
+    eprintln!(
+        "linrv: wrote {events} events ({} operations, {} processes, seed {seed}) from {} to {}",
+        run.operations,
+        processes,
+        object.name(),
+        describe(out_path, "stdout"),
+    );
+    Ok(ExitCode::SUCCESS)
+}

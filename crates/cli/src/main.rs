@@ -1,0 +1,96 @@
+//! `linrv` — record, replay and offline-check linearizability traces.
+//!
+//! The command-line face of the trace subsystem: seeded workloads become
+//! portable traces (`gen`, `record`), traces become verdicts (`check`), and
+//! the two on-disk encodings interconvert losslessly (`convert`). The whole
+//! pipeline composes over pipes:
+//!
+//! ```text
+//! linrv gen --kind queue --seed 42 | linrv check            # exit 0
+//! linrv gen --kind stack --faulty --seed 42 | linrv check   # exit 1 + certificate
+//! ```
+
+mod args;
+mod check_cmd;
+mod convert;
+mod genrec;
+mod io;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+linrv — record, replay and offline-check linearizability traces
+
+USAGE:
+    linrv gen     --kind <kind> [--seed N] [--processes N] [--ops N]
+                  [--faulty] [--every K] [--format jsonl|binary] [--out FILE]
+        Generate a trace from a seeded workload executed by the sequential
+        specification (or, with --faulty, the kind's fault injector).
+        Bit-for-bit deterministic per --seed.
+
+    linrv record  (same flags as gen)
+        Record an execution of the canonical concurrent implementation for
+        the kind (Michael–Scott queue, Treiber stack, ...), deterministically
+        scheduled. Bit-for-bit deterministic per --seed.
+
+    linrv check   [FILE] [--stride N] [--quiet]
+        Stream a trace (file or stdin) into the linearizability checker.
+        Exit 0: linearizable. Exit 1: violation, certificate on stderr.
+
+    linrv convert --to jsonl|binary [--in FILE] [--out FILE]
+        Re-encode a trace, streaming; header and events are preserved.
+
+KINDS:
+    queue, stack, set, priority-queue, counter, register, consensus
+
+EXIT STATUS:
+    0 success (for check: the trace is linearizable)
+    1 check found a violation
+    2 usage, i/o or malformed-trace error
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&argv) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("linrv: error: {message}");
+            eprintln!("run `linrv --help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(argv: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = argv.first() else {
+        print!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "gen" => {
+            let parsed = args::parse(rest, GEN_SWITCHES, GEN_OPTIONS)?;
+            genrec::run(&parsed, genrec::Source::Specification)
+        }
+        "record" => {
+            let parsed = args::parse(rest, GEN_SWITCHES, GEN_OPTIONS)?;
+            genrec::run(&parsed, genrec::Source::Implementation)
+        }
+        "check" => {
+            let parsed = args::parse(rest, &["quiet"], &["stride"])?;
+            check_cmd::run(&parsed)
+        }
+        "convert" => {
+            let parsed = args::parse(rest, &[], &["to", "in", "out"])?;
+            convert::run(&parsed)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+const GEN_SWITCHES: &[&str] = &["faulty"];
+const GEN_OPTIONS: &[&str] = &["kind", "seed", "processes", "ops", "every", "format", "out"];

@@ -1,0 +1,197 @@
+//! End-to-end tests of the `linrv` binary: the record → check pipeline, exit
+//! codes, determinism and lossless conversion.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn linrv(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_linrv"))
+        .args(args)
+        .output()
+        .expect("failed to spawn linrv")
+}
+
+fn linrv_with_stdin(args: &[&str], stdin: &[u8]) -> Output {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_linrv"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn linrv");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(stdin)
+        .expect("write stdin");
+    child.wait_with_output().expect("wait for linrv")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("linrv-cli-test-{}-{name}", std::process::id()));
+    path
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("terminated by signal")
+}
+
+#[test]
+fn gen_to_check_pipeline_is_exit_0_for_correct_and_1_for_faulty() {
+    for kind in [
+        "queue",
+        "stack",
+        "set",
+        "priority-queue",
+        "counter",
+        "register",
+        "consensus",
+    ] {
+        for command in ["gen", "record"] {
+            let trace = linrv(&[command, "--kind", kind, "--seed", "42"]);
+            assert_eq!(exit_code(&trace), 0, "{command} {kind} failed");
+            let verdict = linrv_with_stdin(&["check"], &trace.stdout);
+            assert_eq!(exit_code(&verdict), 0, "{command} {kind} should check OK");
+
+            let trace = linrv(&[command, "--kind", kind, "--seed", "42", "--faulty"]);
+            assert_eq!(exit_code(&trace), 0, "faulty {command} {kind} failed");
+            let verdict = linrv_with_stdin(&["check"], &trace.stdout);
+            assert_eq!(
+                exit_code(&verdict),
+                1,
+                "faulty {command} {kind} must be a violation"
+            );
+            let stderr = String::from_utf8_lossy(&verdict.stderr);
+            assert!(
+                stderr.contains("certificate"),
+                "violation must print a certificate, got: {stderr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_process_faulty_consensus_is_still_caught_and_header_is_honest() {
+    // Consensus workloads are one-shot: the header must record the capped op
+    // count, and the corruption period must be clamped into the tiny run so
+    // --faulty actually produces a violation.
+    let trace = linrv(&["gen", "--kind", "consensus", "--processes", "1", "--faulty"]);
+    assert_eq!(exit_code(&trace), 0);
+    let stdout = String::from_utf8_lossy(&trace.stdout);
+    assert!(
+        stdout.contains("\"ops_per_process\":1"),
+        "header must record what actually ran, got: {}",
+        stdout.lines().next().unwrap_or_default()
+    );
+    let verdict = linrv_with_stdin(&["check"], &trace.stdout);
+    assert_eq!(exit_code(&verdict), 1);
+}
+
+#[test]
+fn gen_and_record_are_bit_for_bit_deterministic_per_seed() {
+    for command in ["gen", "record"] {
+        let a = linrv(&[
+            command, "--kind", "queue", "--seed", "7", "--format", "binary",
+        ]);
+        let b = linrv(&[
+            command, "--kind", "queue", "--seed", "7", "--format", "binary",
+        ]);
+        assert_eq!(exit_code(&a), 0);
+        assert_eq!(a.stdout, b.stdout, "{command} must be deterministic");
+        let c = linrv(&[
+            command, "--kind", "queue", "--seed", "8", "--format", "binary",
+        ]);
+        assert_ne!(a.stdout, c.stdout, "{command} must vary with the seed");
+    }
+}
+
+#[test]
+fn convert_round_trips_losslessly_and_check_agrees_on_both_encodings() {
+    let jsonl = temp_path("rt.jsonl");
+    let binary = temp_path("rt.bin");
+    let back = temp_path("rt2.jsonl");
+    let gen = linrv(&[
+        "gen",
+        "--kind",
+        "register",
+        "--seed",
+        "3",
+        "--faulty",
+        "--out",
+        jsonl.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&gen), 0);
+    let to_bin = linrv(&[
+        "convert",
+        "--to",
+        "binary",
+        "--in",
+        jsonl.to_str().unwrap(),
+        "--out",
+        binary.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&to_bin), 0);
+    let to_jsonl = linrv(&[
+        "convert",
+        "--to",
+        "jsonl",
+        "--in",
+        binary.to_str().unwrap(),
+        "--out",
+        back.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&to_jsonl), 0);
+    let original = std::fs::read(&jsonl).unwrap();
+    let round_tripped = std::fs::read(&back).unwrap();
+    assert_eq!(
+        original, round_tripped,
+        "jsonl → binary → jsonl must be lossless"
+    );
+
+    // Both encodings get the same verdict.
+    assert_eq!(exit_code(&linrv(&["check", jsonl.to_str().unwrap()])), 1);
+    assert_eq!(exit_code(&linrv(&["check", binary.to_str().unwrap()])), 1);
+
+    for path in [jsonl, binary, back] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn errors_exit_2() {
+    assert_eq!(exit_code(&linrv(&["frobnicate"])), 2);
+    assert_eq!(exit_code(&linrv(&["gen"])), 2, "missing --kind");
+    assert_eq!(exit_code(&linrv(&["gen", "--kind", "blob"])), 2);
+    assert_eq!(
+        exit_code(&linrv(&["gen", "--kind", "queue", "--seed", "x"])),
+        2
+    );
+    assert_eq!(exit_code(&linrv(&["check", "/nonexistent/trace.jsonl"])), 2);
+    assert_eq!(exit_code(&linrv(&["convert", "--to", "csv"])), 2);
+    assert_eq!(exit_code(&linrv_with_stdin(&["check"], b"not a trace")), 2);
+    // A truncated trace is a read error, not a silent verdict.
+    let trace = linrv(&[
+        "gen", "--kind", "queue", "--seed", "1", "--format", "binary",
+    ]);
+    let truncated = &trace.stdout[..trace.stdout.len() - 2];
+    assert_eq!(exit_code(&linrv_with_stdin(&["check"], truncated)), 2);
+    assert_eq!(
+        exit_code(&linrv(&[])),
+        2,
+        "no command prints usage, exits 2"
+    );
+}
+
+#[test]
+fn help_exits_0_and_documents_the_pipeline() {
+    let help = linrv(&["--help"]);
+    assert_eq!(exit_code(&help), 0);
+    let text = String::from_utf8_lossy(&help.stdout);
+    for needle in ["gen", "record", "check", "convert", "EXIT STATUS"] {
+        assert!(text.contains(needle), "help must mention {needle}");
+    }
+}

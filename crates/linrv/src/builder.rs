@@ -8,7 +8,9 @@ use linrv_core::view::{TupleSet, View};
 use linrv_runtime::ConcurrentObject;
 use linrv_snapshot::{AfekSnapshot, DoubleCollectSnapshot, LockedSnapshot, Snapshot};
 use linrv_spec::TypedObject;
+use linrv_trace::EventSink;
 use parking_lot::Mutex;
+use std::fmt;
 use std::sync::Arc;
 
 /// Which atomic-snapshot construction the monitor's base objects use.
@@ -72,13 +74,27 @@ pub enum CertificatePolicy {
 ///     .build(MsQueue::new());
 /// assert_eq!(monitor.capacity(), 4);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MonitorBuilder<S> {
     spec: S,
     capacity: usize,
     backend: SnapshotBackend,
     mode: Mode,
     policy: CertificatePolicy,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl<S: fmt::Debug> fmt::Debug for MonitorBuilder<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorBuilder")
+            .field("spec", &self.spec)
+            .field("capacity", &self.capacity)
+            .field("backend", &self.backend)
+            .field("mode", &self.mode)
+            .field("policy", &self.policy)
+            .field("traced", &self.sink.is_some())
+            .finish()
+    }
 }
 
 /// Default number of process slots when [`MonitorBuilder::processes`] is not
@@ -94,6 +110,7 @@ impl<S: TypedObject> MonitorBuilder<S> {
             backend: SnapshotBackend::default(),
             mode: Mode::default(),
             policy: CertificatePolicy::default(),
+            sink: None,
         }
     }
 
@@ -126,6 +143,23 @@ impl<S: TypedObject> MonitorBuilder<S> {
         self
     }
 
+    /// Streams every session operation into `sink` as a pair of history
+    /// events — the invocation when it is announced, the response (the
+    /// *underlying* implementation's value, before any Enforce-mode gating)
+    /// when its view is collected. With a
+    /// [`SharedTraceWriter`](linrv_trace::SharedTraceWriter) sink this captures
+    /// live monitor traffic as a portable trace that `linrv check` can re-verify
+    /// offline.
+    ///
+    /// The recorded order is the order in which the sink is reached, which can
+    /// differ from the true real-time order by at most the paper's
+    /// stretching/shrinking of intervals (Figures 5–6) — exactly the slack the
+    /// verifier is proven sound against.
+    pub fn trace_to(mut self, sink: impl EventSink + 'static) -> Self {
+        self.sink = Some(Arc::new(sink));
+        self
+    }
+
     /// Wraps the black-box implementation `inner` and finishes the monitor.
     pub fn build<A: ConcurrentObject>(self, inner: A) -> Monitor<A, S> {
         let n = self.capacity;
@@ -152,6 +186,7 @@ impl<S: TypedObject> MonitorBuilder<S> {
             policy: self.policy,
             backend: self.backend,
             first_violation: Mutex::new(None),
+            sink: self.sink,
         })
     }
 }
@@ -169,6 +204,75 @@ mod tests {
         assert_eq!(monitor.capacity(), DEFAULT_CAPACITY);
         assert_eq!(monitor.mode(), Mode::Enforce);
         assert_eq!(monitor.snapshot_backend(), SnapshotBackend::Afek);
+    }
+
+    #[test]
+    fn trace_to_captures_live_session_traffic() {
+        use linrv_history::Operation;
+        use linrv_trace::{read_history, SharedTraceWriter, TraceFormat, TraceHeader};
+        let sink = SharedTraceWriter::new(
+            Vec::new(),
+            TraceFormat::Jsonl,
+            &TraceHeader::new(linrv_spec::ObjectKind::Queue),
+        )
+        .unwrap();
+        let monitor = crate::Monitor::builder(QueueSpec::new())
+            .processes(1)
+            .trace_to(sink.clone())
+            .build(MsQueue::new());
+        let session = monitor.register().unwrap();
+        session.enqueue(1).unwrap();
+        assert_eq!(session.dequeue().unwrap(), Some(1));
+        // The raw escape hatch is traced too.
+        let raw = session.apply_raw(&Operation::nullary("Dequeue"));
+        assert!(raw.is_verified());
+        drop(session);
+        let bytes = sink.finish().unwrap();
+        let (header, history) = read_history(bytes.as_slice()).unwrap();
+        assert_eq!(header.kind, linrv_spec::ObjectKind::Queue);
+        assert_eq!(history.len(), 6, "three operations, two events each");
+        assert!(history.is_well_formed());
+        assert!(crate::is_linearizable(QueueSpec::new(), &history));
+    }
+
+    #[test]
+    fn trace_records_the_underlying_value_of_rejected_responses() {
+        use linrv_history::OpValue;
+        use linrv_runtime::faulty::LossyQueue;
+        use linrv_trace::{read_history, SharedTraceWriter, TraceFormat, TraceHeader};
+        let sink = SharedTraceWriter::new(
+            Vec::new(),
+            TraceFormat::Binary,
+            &TraceHeader::new(linrv_spec::ObjectKind::Queue),
+        )
+        .unwrap();
+        let monitor = crate::Monitor::builder(QueueSpec::new())
+            .processes(1)
+            .trace_to(sink.clone())
+            .build(LossyQueue::new(2));
+        let session = monitor.register().unwrap();
+        for i in 0..6 {
+            let _ = session.enqueue(i);
+        }
+        let mut rejected = false;
+        for _ in 0..6 {
+            if session.dequeue().is_err() {
+                rejected = true;
+            }
+        }
+        assert!(rejected, "the lossy queue must be caught");
+        drop(session);
+        let bytes = sink.finish().unwrap();
+        let (_, history) = read_history(bytes.as_slice()).unwrap();
+        assert_eq!(history.len(), 24);
+        // The trace documents what the implementation did, not the ERROR the
+        // session returned: no Error values appear.
+        assert!(history
+            .events()
+            .iter()
+            .all(|e| e.value() != Some(&OpValue::Error)));
+        // Offline re-checking the trace finds the violation again.
+        assert!(!crate::is_linearizable(QueueSpec::new(), &history));
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub use linrv_history as history;
 pub use linrv_runtime as runtime;
 pub use linrv_snapshot as snapshot;
 pub use linrv_spec as spec;
+pub use linrv_trace as trace;
 
 pub use linrv_core::registry::RegistryFull;
 pub use linrv_history::display::render_timeline;

@@ -22,6 +22,8 @@ pub(crate) struct MonitorInner<A, S: TypedObject> {
     pub(crate) backend: SnapshotBackend,
     /// Certificate captured at the first rejection, when the policy asks for it.
     pub(crate) first_violation: Mutex<Option<Certificate>>,
+    /// Trace tap installed by `MonitorBuilder::trace_to`, fed from every session.
+    pub(crate) sink: Option<std::sync::Arc<dyn linrv_trace::EventSink>>,
 }
 
 impl<A: ConcurrentObject, S: TypedObject> MonitorInner<A, S> {
@@ -32,6 +34,13 @@ impl<A: ConcurrentObject, S: TypedObject> MonitorInner<A, S> {
             if slot.is_none() {
                 *slot = Some(self.enforced.certificate_as(process));
             }
+        }
+    }
+
+    /// Forwards one event to the trace tap, when one is installed.
+    pub(crate) fn tap(&self, event: &linrv_history::Event) {
+        if let Some(sink) = &self.sink {
+            sink.event(event);
         }
     }
 }

@@ -6,7 +6,7 @@ use crate::monitor::MonitorInner;
 use linrv_core::drv::Announced;
 use linrv_core::enforce::EnforcedResponse;
 use linrv_core::verifier::VerifierOutcome;
-use linrv_history::{History, OpValue, Operation, ProcessId};
+use linrv_history::{Event, History, OpValue, Operation, ProcessId};
 use linrv_runtime::ConcurrentObject;
 use linrv_spec::typed::{
     consensus, counter, priority_queue, queue, register, set, stack, TypedError,
@@ -192,6 +192,13 @@ impl<A: ConcurrentObject, S: TypedObject> Session<A, S> {
             .enforced
             .drv()
             .announce(self.process, &op.encode());
+        // The trace tap records the announced wire operation: the trace is the
+        // history of the wrapped implementation, typed sugar erased.
+        self.monitor.tap(&Event::invocation(
+            self.process,
+            announced.pair.op_id,
+            announced.pair.operation.clone(),
+        ));
         Staged {
             op,
             announced,
@@ -249,6 +256,13 @@ impl<A: ConcurrentObject, S: TypedObject> Session<A, S> {
             "commit called with an operation staged by a different session"
         );
         let response = self.monitor.enforced.drv().collect(announced, value);
+        // Trace the *underlying* response — even when Enforce mode is about to
+        // reject it, the trace documents what the implementation actually did.
+        self.monitor.tap(&Event::response(
+            self.process,
+            response.pair.op_id,
+            response.value.clone(),
+        ));
         let verifier = self.monitor.enforced.verifier();
         let outcome = match self.monitor.mode {
             Mode::Observe => {
@@ -299,20 +313,45 @@ impl<A: ConcurrentObject, S: TypedObject> Session<A, S> {
     }
 
     fn apply_raw_inner(&self, op: &Operation) -> EnforcedResponse {
+        // Spelled out as the three DRV phases (rather than delegating to
+        // `apply_verified`) so the trace tap sees the operation id and the
+        // underlying response, exactly like the typed path.
+        let drv = self.monitor.enforced.drv();
+        let announced = drv.announce(self.process, op);
+        self.monitor.tap(&Event::invocation(
+            self.process,
+            announced.pair.op_id,
+            announced.pair.operation.clone(),
+        ));
+        let value = drv.call_inner(&announced);
+        let response = drv.collect(announced, value);
+        self.monitor.tap(&Event::response(
+            self.process,
+            response.pair.op_id,
+            response.value.clone(),
+        ));
+        let verifier = self.monitor.enforced.verifier();
         match self.monitor.mode {
-            Mode::Enforce => {
-                let response = self.monitor.enforced.apply_verified(self.process, op);
-                if !response.is_verified() {
+            Mode::Enforce => match verifier.observe(self.process, response.tuple()) {
+                VerifierOutcome::Ok => EnforcedResponse {
+                    value: response.value.clone(),
+                    underlying: response.value,
+                    witness: None,
+                },
+                VerifierOutcome::Error { witness } => {
                     self.monitor.note_violation(self.process);
+                    EnforcedResponse {
+                        value: OpValue::Error,
+                        underlying: response.value,
+                        witness: Some(witness),
+                    }
                 }
-                response
-            }
+                VerifierOutcome::InvalidViews(err) => {
+                    panic!("DRV wrapper produced invalid views: {err}")
+                }
+            },
             Mode::Observe => {
-                let response = self.monitor.enforced.drv().apply_drv(self.process, op);
-                self.monitor
-                    .enforced
-                    .verifier()
-                    .record(self.process, response.tuple());
+                verifier.record(self.process, response.tuple());
                 EnforcedResponse {
                     value: response.value.clone(),
                     underlying: response.value,

@@ -8,12 +8,43 @@
 
 mod duplicating_stack;
 mod lossy_queue;
+mod mutated;
 mod stale_register;
 mod stuttering_counter;
 mod theorem51;
 
 pub use duplicating_stack::DuplicatingStack;
 pub use lossy_queue::LossyQueue;
+pub use mutated::MutatedObject;
 pub use stale_register::StaleRegister;
 pub use stuttering_counter::StutteringCounter;
 pub use theorem51::Theorem51Queue;
+
+use crate::impls::SpecObject;
+use crate::object::ConcurrentObject;
+use linrv_spec::{ConsensusSpec, ObjectKind, PriorityQueueSpec, SetSpec};
+
+/// The canonical faulty implementation for each object kind, corrupting every
+/// `every`-th operation of the relevant kind.
+///
+/// Kinds with a purpose-built fault injector use it (lossy queue, duplicating
+/// stack, stuttering counter, stale register); the rest wrap the sequential
+/// specification in a [`MutatedObject`]. Used by `linrv gen --faulty` and the
+/// golden-trace corpus, so every kind has a deterministic violation source.
+pub fn faulty_object(kind: ObjectKind, every: u64) -> Box<dyn ConcurrentObject> {
+    match kind {
+        ObjectKind::Queue => Box::new(LossyQueue::new(every)),
+        ObjectKind::Stack => Box::new(DuplicatingStack::new(every)),
+        ObjectKind::Counter => Box::new(StutteringCounter::new(every)),
+        ObjectKind::Register => Box::new(StaleRegister::new(every)),
+        ObjectKind::Set => Box::new(MutatedObject::new(SpecObject::new(SetSpec::new()), every)),
+        ObjectKind::PriorityQueue => Box::new(MutatedObject::new(
+            SpecObject::new(PriorityQueueSpec::new()),
+            every,
+        )),
+        ObjectKind::Consensus => Box::new(MutatedObject::new(
+            SpecObject::new(ConsensusSpec::new()),
+            every,
+        )),
+    }
+}

@@ -1,0 +1,118 @@
+//! A generic response-corrupting wrapper, giving every object kind a faulty
+//! variant.
+
+use crate::object::ConcurrentObject;
+use linrv_history::{OpValue, Operation, ProcessId};
+use linrv_spec::ObjectKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps any implementation and corrupts every `corrupt_every`-th response.
+///
+/// The purpose-built faulty implementations ([`LossyQueue`](crate::faulty::LossyQueue)
+/// and friends) corrupt *state*, which only some object kinds have a dedicated
+/// wrapper for. `MutatedObject` instead corrupts the *response value* on its
+/// way out, which works for every kind — it is how the sets, priority queues
+/// and consensus objects of the golden-trace corpus are made faulty.
+///
+/// Corruption is deterministic (a shared operation counter, like the other
+/// faulty implementations) and always produces a value of the right *type* but
+/// the wrong *content*, far outside the range any workload generates — so a
+/// corrupted response can never be accidentally correct:
+///
+/// * integers gain [`MutatedObject::OFFSET`],
+/// * booleans flip,
+/// * the distinguished `empty` becomes the integer [`MutatedObject::OFFSET`]
+///   (an element that provably never entered the object),
+/// * everything else becomes `ERROR`.
+#[derive(Debug)]
+pub struct MutatedObject<A> {
+    inner: A,
+    corrupt_every: u64,
+    count: AtomicU64,
+}
+
+impl<A> MutatedObject<A> {
+    /// The amount added to corrupted integers; workload values stay far below
+    /// it (they encode a process index times one million, plus a counter).
+    pub const OFFSET: i64 = 1_000_000_000;
+
+    /// Wraps `inner`, corrupting every `corrupt_every`-th response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corrupt_every` is zero.
+    pub fn new(inner: A, corrupt_every: u64) -> Self {
+        assert!(corrupt_every > 0, "corrupt_every must be positive");
+        MutatedObject {
+            inner,
+            corrupt_every,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn corrupt(value: OpValue) -> OpValue {
+        match value {
+            OpValue::Int(i) => OpValue::Int(i + Self::OFFSET),
+            OpValue::Bool(b) => OpValue::Bool(!b),
+            OpValue::Empty => OpValue::Int(Self::OFFSET),
+            _ => OpValue::Error,
+        }
+    }
+}
+
+impl<A: ConcurrentObject> ConcurrentObject for MutatedObject<A> {
+    fn kind(&self) -> ObjectKind {
+        self.inner.kind()
+    }
+
+    fn apply(&self, process: ProcessId, op: &Operation) -> OpValue {
+        let value = self.inner.apply(process, op);
+        let count = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if count % self.corrupt_every == 0 {
+            Self::corrupt(value)
+        } else {
+            value
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("mutated {}", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impls::SpecObject;
+    use linrv_spec::ops::set;
+    use linrv_spec::SetSpec;
+
+    #[test]
+    fn every_kth_response_is_corrupted() {
+        let object = MutatedObject::new(SpecObject::new(SetSpec::new()), 2);
+        let p = ProcessId::new(0);
+        assert_eq!(object.apply(p, &set::add(1)), OpValue::Bool(true));
+        // Second response: Contains(1) is true, corrupted to false.
+        assert_eq!(object.apply(p, &set::contains(1)), OpValue::Bool(false));
+        assert_eq!(object.apply(p, &set::contains(1)), OpValue::Bool(true));
+        assert_eq!(object.kind(), ObjectKind::Set);
+        assert!(object.name().contains("mutated"));
+    }
+
+    #[test]
+    fn corruption_covers_every_value_shape() {
+        assert_eq!(
+            MutatedObject::<()>::corrupt(OpValue::Int(5)),
+            OpValue::Int(5 + MutatedObject::<()>::OFFSET)
+        );
+        assert_eq!(
+            MutatedObject::<()>::corrupt(OpValue::Bool(true)),
+            OpValue::Bool(false)
+        );
+        assert_eq!(
+            MutatedObject::<()>::corrupt(OpValue::Empty),
+            OpValue::Int(MutatedObject::<()>::OFFSET)
+        );
+        assert_eq!(MutatedObject::<()>::corrupt(OpValue::Unit), OpValue::Error);
+    }
+}

@@ -13,3 +13,38 @@ pub use cas_consensus::CasConsensus;
 pub use ms_queue::MsQueue;
 pub use spec_object::SpecObject;
 pub use treiber_stack::TreiberStack;
+
+use crate::object::ConcurrentObject;
+use linrv_spec::{
+    ConsensusSpec, CounterSpec, ObjectKind, PriorityQueueSpec, QueueSpec, RegisterSpec, SetSpec,
+    StackSpec,
+};
+
+/// The canonical correct *concurrent* implementation for each object kind: the
+/// from-scratch lock-free/wait-free structure where one exists, the lock-based
+/// [`SpecObject`] universal construction otherwise. Used by `linrv record`.
+pub fn correct_object(kind: ObjectKind) -> Box<dyn ConcurrentObject> {
+    match kind {
+        ObjectKind::Queue => Box::new(MsQueue::new()),
+        ObjectKind::Stack => Box::new(TreiberStack::new()),
+        ObjectKind::Counter => Box::new(AtomicCounter::new()),
+        ObjectKind::Register => Box::new(AtomicIntRegister::new()),
+        ObjectKind::Consensus => Box::new(CasConsensus::new()),
+        ObjectKind::Set => Box::new(SpecObject::new(SetSpec::new())),
+        ObjectKind::PriorityQueue => Box::new(SpecObject::new(PriorityQueueSpec::new())),
+    }
+}
+
+/// The sequential specification itself as a (lock-based) concurrent object —
+/// correct by construction for every kind. Used by `linrv gen`.
+pub fn spec_object(kind: ObjectKind) -> Box<dyn ConcurrentObject> {
+    match kind {
+        ObjectKind::Queue => Box::new(SpecObject::new(QueueSpec::new())),
+        ObjectKind::Stack => Box::new(SpecObject::new(StackSpec::new())),
+        ObjectKind::Set => Box::new(SpecObject::new(SetSpec::new())),
+        ObjectKind::PriorityQueue => Box::new(SpecObject::new(PriorityQueueSpec::new())),
+        ObjectKind::Counter => Box::new(SpecObject::new(CounterSpec::new())),
+        ObjectKind::Register => Box::new(SpecObject::new(RegisterSpec::new())),
+        ObjectKind::Consensus => Box::new(SpecObject::new(ConsensusSpec::new())),
+    }
+}

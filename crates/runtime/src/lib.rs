@@ -34,5 +34,8 @@ pub mod recorder;
 pub mod workload;
 
 pub use object::ConcurrentObject;
-pub use recorder::{record_execution, RecordedExecution, RecorderOptions};
+pub use recorder::{
+    record_execution, record_execution_traced, record_scheduled, record_scheduled_traced,
+    RecordedExecution, RecorderOptions,
+};
 pub use workload::{Workload, WorkloadKind};

@@ -17,7 +17,11 @@
 use crate::object::ConcurrentObject;
 use crate::workload::Workload;
 use linrv_history::{Event, History, OpId, OpValue, Operation, ProcessId};
+use linrv_trace::EventSink;
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -51,16 +55,22 @@ pub struct RecordedExecution {
 }
 
 /// Shared event log with globally ordered appends.
-struct EventLog {
+///
+/// When a trace sink is attached, every append is forwarded to it *inside* the
+/// log's critical section, so the trace's event order is exactly the recorded
+/// history's order.
+struct EventLog<'s> {
     events: Mutex<Vec<Event>>,
     next_op: AtomicU64,
+    sink: Option<&'s dyn EventSink>,
 }
 
-impl EventLog {
-    fn new() -> Self {
+impl<'s> EventLog<'s> {
+    fn new(sink: Option<&'s dyn EventSink>) -> Self {
         EventLog {
             events: Mutex::new(Vec::new()),
             next_op: AtomicU64::new(0),
+            sink,
         }
     }
 
@@ -68,16 +78,20 @@ impl EventLog {
         OpId::new(self.next_op.fetch_add(1, Ordering::Relaxed))
     }
 
+    fn log(&self, event: Event) {
+        let mut events = self.events.lock();
+        if let Some(sink) = self.sink {
+            sink.event(&event);
+        }
+        events.push(event);
+    }
+
     fn log_invocation(&self, process: ProcessId, id: OpId, op: &Operation) {
-        self.events
-            .lock()
-            .push(Event::invocation(process, id, op.clone()));
+        self.log(Event::invocation(process, id, op.clone()));
     }
 
     fn log_response(&self, process: ProcessId, id: OpId, value: &OpValue) {
-        self.events
-            .lock()
-            .push(Event::response(process, id, value.clone()));
+        self.log(Event::response(process, id, value.clone()));
     }
 }
 
@@ -88,7 +102,27 @@ pub fn record_execution(
     workload: Workload,
     options: RecorderOptions,
 ) -> RecordedExecution {
-    let log = EventLog::new();
+    record_threaded(object, workload, options, None)
+}
+
+/// [`record_execution`], additionally streaming every logged event into `sink`
+/// (e.g. a [`linrv_trace::SharedTraceWriter`]) as it is appended.
+pub fn record_execution_traced(
+    object: &(impl ConcurrentObject + ?Sized),
+    workload: Workload,
+    options: RecorderOptions,
+    sink: &dyn EventSink,
+) -> RecordedExecution {
+    record_threaded(object, workload, options, Some(sink))
+}
+
+fn record_threaded(
+    object: &(impl ConcurrentObject + ?Sized),
+    workload: Workload,
+    options: RecorderOptions,
+    sink: Option<&dyn EventSink>,
+) -> RecordedExecution {
+    let log = EventLog::new(sink);
     let started = Instant::now();
     let operations = std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -117,6 +151,107 @@ pub fn record_execution(
     RecordedExecution {
         history,
         duration,
+        operations,
+    }
+}
+
+/// One process's progress through its operation sequence in a scheduled run.
+enum Phase {
+    /// Between operations; the front of the queue is the next one to invoke.
+    Idle,
+    /// Invocation logged, `apply` not called yet.
+    Invoked(OpId, Operation),
+    /// `apply` returned; the response has not been logged yet.
+    Applied(OpId, OpValue),
+}
+
+/// Runs `workload` against `object` under a **deterministic seeded scheduler**
+/// and returns the recorded history.
+///
+/// Unlike [`record_execution`], no threads are involved: a single loop driven
+/// by an RNG seeded with `schedule_seed` repeatedly picks one enabled process
+/// and advances it by one step — log its invocation, call `apply`, or log its
+/// response. Splitting each operation into three separately scheduled steps
+/// still produces overlapping intervals (an operation stays pending while
+/// others are scheduled), but the interleaving — and therefore the recorded
+/// history — is **bit-for-bit reproducible** from `(workload, options,
+/// schedule_seed)`. This is what makes `linrv gen`/`linrv record` deterministic
+/// per `--seed`, and what the golden-trace corpus is generated with.
+///
+/// The `apply` calls themselves are serialised, so the recorded history of a
+/// correct (linearizable) implementation is always linearizable, while the
+/// deterministically fault-injected implementations in [`crate::faulty`] still
+/// misbehave on schedule.
+pub fn record_scheduled(
+    object: &(impl ConcurrentObject + ?Sized),
+    workload: Workload,
+    options: RecorderOptions,
+    schedule_seed: u64,
+) -> RecordedExecution {
+    record_scheduled_impl(object, workload, options, schedule_seed, None)
+}
+
+/// [`record_scheduled`], additionally streaming every logged event into `sink`
+/// as it is appended.
+pub fn record_scheduled_traced(
+    object: &(impl ConcurrentObject + ?Sized),
+    workload: Workload,
+    options: RecorderOptions,
+    schedule_seed: u64,
+    sink: &dyn EventSink,
+) -> RecordedExecution {
+    record_scheduled_impl(object, workload, options, schedule_seed, Some(sink))
+}
+
+fn record_scheduled_impl(
+    object: &(impl ConcurrentObject + ?Sized),
+    workload: Workload,
+    options: RecorderOptions,
+    schedule_seed: u64,
+    sink: Option<&dyn EventSink>,
+) -> RecordedExecution {
+    let log = EventLog::new(sink);
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(schedule_seed);
+    let mut pending: Vec<VecDeque<Operation>> = (0..options.processes)
+        .map(|i| workload.operations_for(i, options.ops_per_process).into())
+        .collect();
+    let mut phases: Vec<Phase> = (0..options.processes).map(|_| Phase::Idle).collect();
+    let mut operations = 0usize;
+    loop {
+        // Deterministic scheduling: enumerate the processes that can take a
+        // step (in process order), then let the seeded RNG pick one.
+        let enabled: Vec<usize> = (0..options.processes)
+            .filter(|&i| !matches!(phases[i], Phase::Idle) || !pending[i].is_empty())
+            .collect();
+        if enabled.is_empty() {
+            break;
+        }
+        let process_index = enabled[rng.gen_range(0..enabled.len())];
+        let process = ProcessId::new(process_index as u32);
+        phases[process_index] = match std::mem::replace(&mut phases[process_index], Phase::Idle) {
+            Phase::Idle => {
+                let op = pending[process_index]
+                    .pop_front()
+                    .expect("enabled idle process has a next operation");
+                let id = log.fresh_op();
+                log.log_invocation(process, id, &op);
+                Phase::Invoked(id, op)
+            }
+            Phase::Invoked(id, op) => {
+                let value = object.apply(process, &op);
+                Phase::Applied(id, value)
+            }
+            Phase::Applied(id, value) => {
+                log.log_response(process, id, &value);
+                operations += 1;
+                Phase::Idle
+            }
+        };
+    }
+    RecordedExecution {
+        history: History::from_events(log.events.into_inner()),
+        duration: started.elapsed(),
         operations,
     }
 }
@@ -187,6 +322,126 @@ mod tests {
             },
         );
         assert!(LinSpec::new(CounterSpec::new()).contains(&run.history));
+    }
+
+    #[test]
+    fn scheduled_runs_are_bit_for_bit_deterministic() {
+        let options = RecorderOptions {
+            processes: 3,
+            ops_per_process: 40,
+        };
+        let runs: Vec<History> = (0..2)
+            .map(|_| {
+                let queue = MsQueue::new();
+                record_scheduled(&queue, Workload::new(WorkloadKind::Queue, 42), options, 42)
+                    .history
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        // A different schedule seed yields a different interleaving.
+        let queue = MsQueue::new();
+        let other =
+            record_scheduled(&queue, Workload::new(WorkloadKind::Queue, 42), options, 43).history;
+        assert_ne!(runs[0], other);
+    }
+
+    #[test]
+    fn scheduled_histories_are_well_formed_overlapping_and_linearizable() {
+        for kind in [WorkloadKind::Queue, WorkloadKind::Stack, WorkloadKind::Set] {
+            let object = crate::impls::spec_object(kind.object_kind());
+            let run = record_scheduled(
+                &*object,
+                Workload::new(kind, 7),
+                RecorderOptions {
+                    processes: 3,
+                    ops_per_process: 25,
+                },
+                7,
+            );
+            assert!(run.history.is_well_formed());
+            assert_eq!(run.operations, 75);
+            assert_eq!(run.history.pending_operations().count(), 0);
+        }
+        let run = record_scheduled(
+            &SpecObject::new(QueueSpec::new()),
+            Workload::new(WorkloadKind::Queue, 3),
+            RecorderOptions {
+                processes: 2,
+                ops_per_process: 20,
+            },
+            3,
+        );
+        assert!(LinSpec::new(QueueSpec::new()).contains(&run.history));
+    }
+
+    #[test]
+    fn scheduled_faulty_objects_produce_violations() {
+        let queue = LossyQueue::new(2);
+        let run = record_scheduled(
+            &queue,
+            Workload::new(WorkloadKind::Queue, 9),
+            RecorderOptions {
+                processes: 2,
+                ops_per_process: 30,
+            },
+            9,
+        );
+        assert!(!LinSpec::new(QueueSpec::new()).contains(&run.history));
+    }
+
+    #[test]
+    fn traced_runs_stream_exactly_the_recorded_events() {
+        use linrv_trace::{read_history, SharedTraceWriter, TraceFormat, TraceHeader};
+        let sink = SharedTraceWriter::new(
+            Vec::new(),
+            TraceFormat::Jsonl,
+            &TraceHeader::new(linrv_spec::ObjectKind::Queue),
+        )
+        .unwrap();
+        let queue = MsQueue::new();
+        let run = record_execution_traced(
+            &queue,
+            Workload::new(WorkloadKind::Queue, 5),
+            RecorderOptions {
+                processes: 3,
+                ops_per_process: 10,
+            },
+            &sink,
+        );
+        let bytes = sink.finish().unwrap();
+        let (_, traced) = read_history(bytes.as_slice()).unwrap();
+        assert_eq!(traced, run.history);
+
+        let sink = SharedTraceWriter::new(
+            Vec::new(),
+            TraceFormat::Binary,
+            &TraceHeader::new(linrv_spec::ObjectKind::Queue),
+        )
+        .unwrap();
+        let queue = MsQueue::new();
+        let run = record_scheduled_traced(
+            &queue,
+            Workload::new(WorkloadKind::Queue, 5),
+            RecorderOptions {
+                processes: 2,
+                ops_per_process: 10,
+            },
+            5,
+            &sink,
+        );
+        let bytes = sink.finish().unwrap();
+        let (_, traced) = read_history(bytes.as_slice()).unwrap();
+        assert_eq!(traced, run.history);
+    }
+
+    #[test]
+    fn every_kind_has_correct_and_faulty_factories() {
+        use linrv_spec::ObjectKind;
+        for kind in ObjectKind::ALL {
+            assert_eq!(crate::impls::correct_object(kind).kind(), kind);
+            assert_eq!(crate::impls::spec_object(kind).kind(), kind);
+            assert_eq!(crate::faulty::faulty_object(kind, 3).kind(), kind);
+        }
     }
 
     #[test]

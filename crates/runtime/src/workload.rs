@@ -26,6 +26,20 @@ pub enum WorkloadKind {
 }
 
 impl WorkloadKind {
+    /// The canonical workload for a sequential object (inverse of
+    /// [`WorkloadKind::object_kind`]).
+    pub fn for_object(kind: ObjectKind) -> WorkloadKind {
+        match kind {
+            ObjectKind::Queue => WorkloadKind::Queue,
+            ObjectKind::Stack => WorkloadKind::Stack,
+            ObjectKind::Set => WorkloadKind::Set,
+            ObjectKind::PriorityQueue => WorkloadKind::PriorityQueue,
+            ObjectKind::Counter => WorkloadKind::Counter,
+            ObjectKind::Register => WorkloadKind::Register,
+            ObjectKind::Consensus => WorkloadKind::Consensus,
+        }
+    }
+
     /// The sequential object this workload targets.
     pub fn object_kind(self) -> ObjectKind {
         match self {
@@ -165,5 +179,8 @@ mod tests {
         assert_eq!(WorkloadKind::Queue.object_kind(), ObjectKind::Queue);
         assert_eq!(WorkloadKind::Set.object_kind(), ObjectKind::Set);
         assert_eq!(WorkloadKind::Consensus.object_kind(), ObjectKind::Consensus);
+        for kind in ObjectKind::ALL {
+            assert_eq!(WorkloadKind::for_object(kind).object_kind(), kind);
+        }
     }
 }

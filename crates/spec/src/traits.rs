@@ -23,6 +23,20 @@ pub enum ObjectKind {
     Consensus,
 }
 
+impl ObjectKind {
+    /// Every shipped object kind, in a stable order (useful for CLIs and tests
+    /// that sweep all objects).
+    pub const ALL: [ObjectKind; 7] = [
+        ObjectKind::Queue,
+        ObjectKind::Stack,
+        ObjectKind::Set,
+        ObjectKind::PriorityQueue,
+        ObjectKind::Counter,
+        ObjectKind::Register,
+        ObjectKind::Consensus,
+    ];
+}
+
 impl fmt::Display for ObjectKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -35,6 +49,28 @@ impl fmt::Display for ObjectKind {
             ObjectKind::Consensus => "consensus",
         };
         f.write_str(name)
+    }
+}
+
+impl std::str::FromStr for ObjectKind {
+    type Err = String;
+
+    /// Parses the kebab-case names produced by [`fmt::Display`] (plus the
+    /// common aliases `pq` and `priority_queue`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "queue" => Ok(ObjectKind::Queue),
+            "stack" => Ok(ObjectKind::Stack),
+            "set" => Ok(ObjectKind::Set),
+            "priority-queue" | "priority_queue" | "pq" => Ok(ObjectKind::PriorityQueue),
+            "counter" => Ok(ObjectKind::Counter),
+            "register" => Ok(ObjectKind::Register),
+            "consensus" => Ok(ObjectKind::Consensus),
+            other => Err(format!(
+                "unknown object kind {other:?} (expected one of: queue, stack, set, \
+                 priority-queue, counter, register, consensus)"
+            )),
+        }
     }
 }
 
@@ -159,6 +195,15 @@ mod tests {
     fn object_kind_display() {
         assert_eq!(ObjectKind::Queue.to_string(), "queue");
         assert_eq!(ObjectKind::PriorityQueue.to_string(), "priority-queue");
+    }
+
+    #[test]
+    fn object_kind_display_round_trips_through_from_str() {
+        for kind in ObjectKind::ALL {
+            assert_eq!(kind.to_string().parse::<ObjectKind>(), Ok(kind));
+        }
+        assert_eq!("pq".parse::<ObjectKind>(), Ok(ObjectKind::PriorityQueue));
+        assert!("blob".parse::<ObjectKind>().unwrap_err().contains("blob"));
     }
 
     #[test]

@@ -1,0 +1,542 @@
+//! The length-framed binary encoding (see `FORMAT.md`).
+//!
+//! Layout: the 8-byte magic `LINRVTRC`, a little-endian `u16` version, then a
+//! sequence of frames — first the header frame, then one frame per event. Every
+//! frame is a little-endian `u32` payload length followed by that many payload
+//! bytes; the trace ends at a clean end-of-stream between frames.
+
+use crate::error::TraceError;
+use crate::header::{Provenance, TraceHeader};
+use crate::FORMAT_VERSION;
+use linrv_history::{Event, EventKind, OpId, OpValue, Operation, ProcessId};
+use linrv_spec::ObjectKind;
+use std::io::Read;
+
+/// The magic bytes opening every binary trace.
+pub(crate) const MAGIC: [u8; 8] = *b"LINRVTRC";
+
+/// Upper bound on a single frame's payload, rejecting corrupted lengths before
+/// they turn into multi-gigabyte allocations.
+const MAX_FRAME_LEN: u32 = 1 << 24; // 16 MiB
+
+// --- value codes ------------------------------------------------------------
+
+const VAL_UNIT: u8 = 0;
+const VAL_BOOL: u8 = 1;
+const VAL_INT: u8 = 2;
+const VAL_STR: u8 = 3;
+const VAL_EMPTY: u8 = 4;
+const VAL_ERROR: u8 = 5;
+const VAL_PAIR: u8 = 6;
+const VAL_LIST: u8 = 7;
+
+const EVENT_INV: u8 = 0;
+const EVENT_RES: u8 = 1;
+
+// --- encoding ---------------------------------------------------------------
+
+/// Appends the magic and version preamble.
+pub(crate) fn encode_preamble(out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+}
+
+/// Appends the header frame.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] when the encoded frame would exceed the reader's
+/// frame cap (a pathologically long implementation name).
+pub(crate) fn encode_header(out: &mut Vec<u8>, header: &TraceHeader) -> Result<(), TraceError> {
+    let mut payload = Vec::new();
+    payload.push(kind_code(header.kind));
+    payload.push(match header.provenance {
+        Provenance::Unknown => 0,
+        Provenance::Correct => 1,
+        Provenance::Faulty => 2,
+    });
+    let mut flags = 0u8;
+    if header.seed.is_some() {
+        flags |= 1;
+    }
+    if header.processes.is_some() {
+        flags |= 2;
+    }
+    if header.ops_per_process.is_some() {
+        flags |= 4;
+    }
+    if header.implementation.is_some() {
+        flags |= 8;
+    }
+    payload.push(flags);
+    if let Some(seed) = header.seed {
+        payload.extend_from_slice(&seed.to_le_bytes());
+    }
+    if let Some(processes) = header.processes {
+        payload.extend_from_slice(&processes.to_le_bytes());
+    }
+    if let Some(ops) = header.ops_per_process {
+        payload.extend_from_slice(&ops.to_le_bytes());
+    }
+    if let Some(name) = &header.implementation {
+        encode_str(&mut payload, name);
+    }
+    push_frame(out, &payload, "header")
+}
+
+/// Appends one event frame.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] when the encoded frame would exceed the reader's
+/// frame cap (an `OpValue` string or list over 16 MiB) — writing it anyway
+/// would produce a trace that every reader rejects at this frame.
+pub(crate) fn encode_event(out: &mut Vec<u8>, event: &Event) -> Result<(), TraceError> {
+    let mut payload = Vec::new();
+    match &event.kind {
+        EventKind::Invocation { op } => {
+            payload.push(EVENT_INV);
+            payload.extend_from_slice(&(event.process.index() as u32).to_le_bytes());
+            payload.extend_from_slice(&event.op_id.raw().to_le_bytes());
+            encode_str(&mut payload, &op.kind);
+            encode_value(&mut payload, &op.arg);
+        }
+        EventKind::Response { value } => {
+            payload.push(EVENT_RES);
+            payload.extend_from_slice(&(event.process.index() as u32).to_le_bytes());
+            payload.extend_from_slice(&event.op_id.raw().to_le_bytes());
+            encode_value(&mut payload, value);
+        }
+    }
+    push_frame(out, &payload, "event")
+}
+
+fn push_frame(out: &mut Vec<u8>, payload: &[u8], what: &str) -> Result<(), TraceError> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(TraceError::malformed(
+            what,
+            format!(
+                "encoded {what} frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap \
+                 (readers would reject it)",
+                payload.len()
+            ),
+        ));
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+fn encode_str(out: &mut Vec<u8>, s: &str) {
+    let len = u32::try_from(s.len()).expect("string longer than u32::MAX bytes");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_value(out: &mut Vec<u8>, value: &OpValue) {
+    match value {
+        OpValue::Unit => out.push(VAL_UNIT),
+        OpValue::Bool(b) => {
+            out.push(VAL_BOOL);
+            out.push(u8::from(*b));
+        }
+        OpValue::Int(i) => {
+            out.push(VAL_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        OpValue::Str(s) => {
+            out.push(VAL_STR);
+            encode_str(out, s);
+        }
+        OpValue::Empty => out.push(VAL_EMPTY),
+        OpValue::Error => out.push(VAL_ERROR),
+        OpValue::Pair(a, b) => {
+            out.push(VAL_PAIR);
+            encode_value(out, a);
+            encode_value(out, b);
+        }
+        OpValue::List(items) => {
+            out.push(VAL_LIST);
+            let len = u32::try_from(items.len()).expect("list longer than u32::MAX");
+            out.extend_from_slice(&len.to_le_bytes());
+            for item in items {
+                encode_value(out, item);
+            }
+        }
+    }
+}
+
+fn kind_code(kind: ObjectKind) -> u8 {
+    match kind {
+        ObjectKind::Queue => 0,
+        ObjectKind::Stack => 1,
+        ObjectKind::Set => 2,
+        ObjectKind::PriorityQueue => 3,
+        ObjectKind::Counter => 4,
+        ObjectKind::Register => 5,
+        ObjectKind::Consensus => 6,
+    }
+}
+
+fn kind_from_code(code: u8, location: &str) -> Result<ObjectKind, TraceError> {
+    Ok(match code {
+        0 => ObjectKind::Queue,
+        1 => ObjectKind::Stack,
+        2 => ObjectKind::Set,
+        3 => ObjectKind::PriorityQueue,
+        4 => ObjectKind::Counter,
+        5 => ObjectKind::Register,
+        6 => ObjectKind::Consensus,
+        other => {
+            return Err(TraceError::malformed(
+                location,
+                format!("unknown object-kind code {other}"),
+            ))
+        }
+    })
+}
+
+// --- decoding ---------------------------------------------------------------
+
+/// Reads and checks the magic + version preamble (the caller has typically
+/// already peeked at the magic to auto-detect the format).
+pub(crate) fn read_preamble(input: &mut impl Read) -> Result<(), TraceError> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic).map_err(unexpected_eof)?;
+    if magic != MAGIC {
+        return Err(TraceError::UnknownFormat);
+    }
+    let mut version = [0u8; 2];
+    input.read_exact(&mut version).map_err(unexpected_eof)?;
+    let version = u16::from_le_bytes(version);
+    if version != FORMAT_VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    Ok(())
+}
+
+fn unexpected_eof(err: std::io::Error) -> TraceError {
+    if err.kind() == std::io::ErrorKind::UnexpectedEof {
+        TraceError::malformed("preamble", "trace truncated before the header")
+    } else {
+        TraceError::Io(err)
+    }
+}
+
+/// Reads the next frame payload; `Ok(None)` at a clean end-of-stream.
+pub(crate) fn read_frame(
+    input: &mut impl Read,
+    location: &str,
+) -> Result<Option<Vec<u8>>, TraceError> {
+    let mut len = [0u8; 4];
+    // A clean EOF is only allowed *between* frames: read the length manually so
+    // zero-bytes-read can be told apart from a torn length.
+    let mut filled = 0;
+    while filled < len.len() {
+        match input.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(TraceError::malformed(location, "trace truncated mid-frame"));
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(TraceError::Io(err)),
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(TraceError::malformed(
+            location,
+            format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    input.read_exact(&mut payload).map_err(|err| {
+        if err.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::malformed(location, "trace truncated mid-frame")
+        } else {
+            TraceError::Io(err)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+/// Decodes the header frame payload.
+pub(crate) fn decode_header(payload: &[u8], location: &str) -> Result<TraceHeader, TraceError> {
+    let mut cursor = Cursor::new(payload, location);
+    let kind = kind_from_code(cursor.u8()?, location)?;
+    let provenance = match cursor.u8()? {
+        0 => Provenance::Unknown,
+        1 => Provenance::Correct,
+        2 => Provenance::Faulty,
+        other => {
+            return Err(TraceError::malformed(
+                location,
+                format!("unknown provenance code {other}"),
+            ))
+        }
+    };
+    let flags = cursor.u8()?;
+    let mut header = TraceHeader::new(kind).with_provenance(provenance);
+    if flags & 1 != 0 {
+        header.seed = Some(cursor.u64()?);
+    }
+    if flags & 2 != 0 {
+        header.processes = Some(cursor.u32()?);
+    }
+    if flags & 4 != 0 {
+        header.ops_per_process = Some(cursor.u32()?);
+    }
+    if flags & 8 != 0 {
+        header.implementation = Some(cursor.str()?);
+    }
+    cursor.finish()?;
+    Ok(header)
+}
+
+/// Decodes one event frame payload.
+pub(crate) fn decode_event(payload: &[u8], location: &str) -> Result<Event, TraceError> {
+    let mut cursor = Cursor::new(payload, location);
+    let tag = cursor.u8()?;
+    let process = ProcessId::new(cursor.u32()?);
+    let op_id = OpId::new(cursor.u64()?);
+    let event = match tag {
+        EVENT_INV => {
+            let kind = cursor.str()?;
+            let arg = cursor.value(0)?;
+            Event::invocation(process, op_id, Operation::new(kind, arg))
+        }
+        EVENT_RES => {
+            let value = cursor.value(0)?;
+            Event::response(process, op_id, value)
+        }
+        other => {
+            return Err(TraceError::malformed(
+                location,
+                format!("unknown event tag {other}"),
+            ))
+        }
+    };
+    cursor.finish()?;
+    Ok(event)
+}
+
+/// Bounds-checked little-endian reader over one frame payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    location: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], location: &'a str) -> Self {
+        Cursor {
+            bytes,
+            pos: 0,
+            location,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> TraceError {
+        TraceError::malformed(self.location, message.into())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| self.error("frame payload truncated"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, TraceError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str(&mut self) -> Result<String, TraceError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.error("string is not valid UTF-8"))
+    }
+
+    fn value(&mut self, depth: usize) -> Result<OpValue, TraceError> {
+        if depth > 64 {
+            return Err(self.error("value nests too deeply"));
+        }
+        match self.u8()? {
+            VAL_UNIT => Ok(OpValue::Unit),
+            VAL_BOOL => match self.u8()? {
+                0 => Ok(OpValue::Bool(false)),
+                1 => Ok(OpValue::Bool(true)),
+                other => Err(self.error(format!("invalid boolean byte {other}"))),
+            },
+            VAL_INT => Ok(OpValue::Int(self.i64()?)),
+            VAL_STR => Ok(OpValue::Str(self.str()?)),
+            VAL_EMPTY => Ok(OpValue::Empty),
+            VAL_ERROR => Ok(OpValue::Error),
+            VAL_PAIR => {
+                let a = self.value(depth + 1)?;
+                let b = self.value(depth + 1)?;
+                Ok(OpValue::pair(a, b))
+            }
+            VAL_LIST => {
+                let len = self.u32()? as usize;
+                // Cap the pre-allocation: a corrupted length must not OOM.
+                let mut items = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(OpValue::List(items))
+            }
+            other => Err(self.error(format!("unknown value tag {other}"))),
+        }
+    }
+
+    fn finish(self) -> Result<(), TraceError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing bytes at the end of a frame"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        for header in [
+            TraceHeader::new(ObjectKind::Queue),
+            TraceHeader::new(ObjectKind::Register)
+                .with_seed(u64::MAX)
+                .with_processes(7)
+                .with_ops_per_process(1000)
+                .with_implementation("stale-register")
+                .with_provenance(Provenance::Faulty),
+        ] {
+            let mut bytes = Vec::new();
+            encode_header(&mut bytes, &header).unwrap();
+            let payload = read_frame(&mut bytes.as_slice(), "t").unwrap().unwrap();
+            assert_eq!(decode_header(&payload, "t").unwrap(), header);
+        }
+    }
+
+    #[test]
+    fn events_round_trip_for_every_value_shape() {
+        let events = [
+            Event::invocation(
+                ProcessId::new(0),
+                OpId::new(9),
+                Operation::new("Enqueue", OpValue::Int(i64::MIN)),
+            ),
+            Event::response(ProcessId::new(1), OpId::new(10), OpValue::Unit),
+            Event::response(ProcessId::new(2), OpId::new(11), OpValue::Bool(false)),
+            Event::response(ProcessId::new(3), OpId::new(12), OpValue::Str("π".into())),
+            Event::response(ProcessId::new(4), OpId::new(13), OpValue::Empty),
+            Event::response(ProcessId::new(5), OpId::new(14), OpValue::Error),
+            Event::response(
+                ProcessId::new(6),
+                OpId::new(15),
+                OpValue::pair(OpValue::List(vec![OpValue::Int(1)]), OpValue::Unit),
+            ),
+        ];
+        for event in events {
+            let mut bytes = Vec::new();
+            encode_event(&mut bytes, &event).unwrap();
+            let payload = read_frame(&mut bytes.as_slice(), "t").unwrap().unwrap();
+            assert_eq!(decode_event(&payload, "t").unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_at_write_time() {
+        // A string just over the cap: the writer must error rather than emit a
+        // frame every reader rejects.
+        let huge = "x".repeat(MAX_FRAME_LEN as usize + 1);
+        let event = Event::response(ProcessId::new(0), OpId::new(0), OpValue::Str(huge));
+        let mut bytes = Vec::new();
+        let err = encode_event(&mut bytes, &event).unwrap_err();
+        assert!(err.to_string().contains("cap"));
+        assert!(bytes.is_empty(), "nothing may be written on refusal");
+    }
+
+    #[test]
+    fn preamble_is_checked() {
+        let mut good = Vec::new();
+        encode_preamble(&mut good);
+        assert!(read_preamble(&mut good.as_slice()).is_ok());
+
+        assert!(matches!(
+            read_preamble(&mut b"NOTATRACE!".as_slice()),
+            Err(TraceError::UnknownFormat)
+        ));
+        let mut wrong_version = MAGIC.to_vec();
+        wrong_version.extend_from_slice(&9u16.to_le_bytes());
+        assert!(matches!(
+            read_preamble(&mut wrong_version.as_slice()),
+            Err(TraceError::UnsupportedVersion(9))
+        ));
+        assert!(read_preamble(&mut b"LINR".as_slice()).is_err());
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_are_rejected() {
+        // Clean EOF between frames.
+        assert!(read_frame(&mut [].as_slice(), "t").unwrap().is_none());
+        // Torn length.
+        assert!(read_frame(&mut [1u8, 0].as_slice(), "t").is_err());
+        // Torn payload.
+        let mut torn = 8u32.to_le_bytes().to_vec();
+        torn.extend_from_slice(&[1, 2, 3]);
+        assert!(read_frame(&mut torn.as_slice(), "t").is_err());
+        // Oversized length.
+        let huge = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        assert!(read_frame(&mut huge.as_slice(), "t").is_err());
+    }
+
+    #[test]
+    fn corrupted_payloads_are_rejected() {
+        // Unknown event tag.
+        let mut payload = vec![9u8];
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode_event(&payload, "t").is_err());
+        // Trailing bytes after a well-formed event.
+        let mut bytes = Vec::new();
+        encode_event(
+            &mut bytes,
+            &Event::response(ProcessId::new(0), OpId::new(0), OpValue::Unit),
+        )
+        .unwrap();
+        let mut payload = read_frame(&mut bytes.as_slice(), "t").unwrap().unwrap();
+        payload.push(0);
+        assert!(decode_event(&payload, "t").is_err());
+        // Truncated header.
+        assert!(decode_header(&[0], "t").is_err());
+        // Unknown kind code.
+        assert!(decode_header(&[99, 0, 0], "t").is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Errors produced while encoding or decoding traces.
+
+use std::fmt;
+use std::io;
+
+/// Why a trace could not be read or written.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The byte stream does not conform to the trace format.
+    Malformed {
+        /// Where the problem was found (a line number for JSONL, a frame index
+        /// for binary, or a field name).
+        location: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// The trace was written by a newer (or unknown) format version.
+    UnsupportedVersion(u16),
+    /// The stream does not start with either a JSONL header line or the binary
+    /// magic bytes.
+    UnknownFormat,
+    /// The writer was already consumed (see
+    /// [`SharedTraceWriter::finish`](crate::SharedTraceWriter::finish)).
+    AlreadyFinished,
+}
+
+impl TraceError {
+    /// Convenience constructor for [`TraceError::Malformed`].
+    pub fn malformed(location: impl Into<String>, message: impl Into<String>) -> Self {
+        TraceError::Malformed {
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(err) => write!(f, "trace i/o error: {err}"),
+            TraceError::Malformed { location, message } => {
+                write!(f, "malformed trace at {location}: {message}")
+            }
+            TraceError::UnsupportedVersion(version) => {
+                write!(
+                    f,
+                    "unsupported trace format version {version} (this build reads \
+                     version {})",
+                    crate::FORMAT_VERSION
+                )
+            }
+            TraceError::UnknownFormat => {
+                write!(
+                    f,
+                    "unrecognised trace: expected a JSONL header line or the \
+                     binary magic bytes"
+                )
+            }
+            TraceError::AlreadyFinished => {
+                write!(f, "the shared trace writer was already finished")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(err: io::Error) -> Self {
+        TraceError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let err = TraceError::malformed("line 3", "missing \"e\" field");
+        assert!(err.to_string().contains("line 3"));
+        assert!(TraceError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(TraceError::UnknownFormat.to_string().contains("magic"));
+        let io = TraceError::from(io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Trace metadata: the header record every trace starts with.
+
+use linrv_spec::ObjectKind;
+use std::fmt;
+
+/// The two on-disk encodings of a trace (see `FORMAT.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// One JSON object per line: a header line followed by one line per event.
+    /// Human-readable and diff-friendly; the format of the golden corpus.
+    #[default]
+    Jsonl,
+    /// Length-framed binary records behind an 8-byte magic. Roughly 4–5× denser
+    /// and faster to decode; the format for large recorded runs.
+    Binary,
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Binary => "binary",
+        })
+    }
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" | "json" => Ok(TraceFormat::Jsonl),
+            "binary" | "bin" => Ok(TraceFormat::Binary),
+            other => Err(format!(
+                "unknown trace format {other:?} (expected \"jsonl\" or \"binary\")"
+            )),
+        }
+    }
+}
+
+/// What the producer of a trace knew about the recorded implementation.
+///
+/// Purely advisory metadata: `linrv check` decides the actual verdict from the
+/// events, never from this field. The golden-corpus regression tests use it to
+/// assert that the checker's verdict matches the recorded provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Provenance {
+    /// Nothing is known about the implementation that produced the trace.
+    #[default]
+    Unknown,
+    /// The trace was produced by a known-correct implementation (e.g. the
+    /// sequential specification itself behind a lock).
+    Correct,
+    /// The trace was produced by a deliberately fault-injected implementation.
+    Faulty,
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Provenance::Unknown => "unknown",
+            Provenance::Correct => "correct",
+            Provenance::Faulty => "faulty",
+        })
+    }
+}
+
+impl std::str::FromStr for Provenance {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "unknown" => Ok(Provenance::Unknown),
+            "correct" => Ok(Provenance::Correct),
+            "faulty" => Ok(Provenance::Faulty),
+            other => Err(format!(
+                "unknown provenance {other:?} (expected \"unknown\", \"correct\" \
+                 or \"faulty\")"
+            )),
+        }
+    }
+}
+
+/// The metadata record at the start of every trace.
+///
+/// Only the object kind is mandatory — it selects the sequential specification
+/// an offline checker verifies the events against. Everything else describes how
+/// the trace was produced, so a run can be reproduced (`seed`) or audited
+/// (`implementation`, `provenance`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// The sequential object the recorded history claims to implement.
+    pub kind: ObjectKind,
+    /// The seed of the workload and interleaving, when the trace came from a
+    /// seeded run (`linrv gen` / `linrv record`).
+    pub seed: Option<u64>,
+    /// Number of processes in the recorded run.
+    pub processes: Option<u32>,
+    /// Operations each process performed.
+    pub ops_per_process: Option<u32>,
+    /// Human-readable name of the implementation that produced the events.
+    pub implementation: Option<String>,
+    /// What the producer knew about that implementation.
+    pub provenance: Provenance,
+}
+
+impl TraceHeader {
+    /// A header with only the mandatory object kind set.
+    pub fn new(kind: ObjectKind) -> Self {
+        TraceHeader {
+            kind,
+            seed: None,
+            processes: None,
+            ops_per_process: None,
+            implementation: None,
+            provenance: Provenance::Unknown,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the process count (builder style).
+    pub fn with_processes(mut self, processes: u32) -> Self {
+        self.processes = Some(processes);
+        self
+    }
+
+    /// Sets the per-process operation count (builder style).
+    pub fn with_ops_per_process(mut self, ops: u32) -> Self {
+        self.ops_per_process = Some(ops);
+        self
+    }
+
+    /// Sets the implementation name (builder style).
+    pub fn with_implementation(mut self, name: impl Into<String>) -> Self {
+        self.implementation = Some(name.into());
+        self
+    }
+
+    /// Sets the provenance (builder style).
+    pub fn with_provenance(mut self, provenance: Provenance) -> Self {
+        self.provenance = provenance;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_setters_compose() {
+        let header = TraceHeader::new(ObjectKind::Queue)
+            .with_seed(42)
+            .with_processes(3)
+            .with_ops_per_process(50)
+            .with_implementation("ms-queue")
+            .with_provenance(Provenance::Correct);
+        assert_eq!(header.kind, ObjectKind::Queue);
+        assert_eq!(header.seed, Some(42));
+        assert_eq!(header.processes, Some(3));
+        assert_eq!(header.ops_per_process, Some(50));
+        assert_eq!(header.implementation.as_deref(), Some("ms-queue"));
+        assert_eq!(header.provenance, Provenance::Correct);
+    }
+
+    #[test]
+    fn formats_and_provenance_round_trip_through_strings() {
+        for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+            assert_eq!(format.to_string().parse::<TraceFormat>().unwrap(), format);
+        }
+        for provenance in [Provenance::Unknown, Provenance::Correct, Provenance::Faulty] {
+            assert_eq!(
+                provenance.to_string().parse::<Provenance>().unwrap(),
+                provenance
+            );
+        }
+        assert!("csv".parse::<TraceFormat>().is_err());
+        assert!("maybe".parse::<Provenance>().is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! The JSONL encoding: one JSON object per line (see `FORMAT.md`).
+//!
+//! Line 1 is the header; every following non-empty line is one event. Response
+//! values use bare JSON where it is unambiguous (`null` = unit, booleans,
+//! integers, strings, arrays = lists) and a `{"t": …}` tagged object for the
+//! distinguished `empty`/`ERROR` responses and pairs.
+
+use crate::error::TraceError;
+use crate::header::{Provenance, TraceHeader};
+use crate::json::{self, write_escaped, Json};
+use crate::FORMAT_VERSION;
+use linrv_history::{Event, EventKind, OpId, OpValue, Operation, ProcessId};
+use std::fmt::Write as _;
+
+/// Encodes the header as its JSONL line (without the trailing newline).
+pub(crate) fn encode_header(header: &TraceHeader) -> String {
+    let mut out = String::from("{\"format\":\"linrv-trace\",\"version\":");
+    let _ = write!(out, "{FORMAT_VERSION}");
+    let _ = write!(out, ",\"kind\":\"{}\"", header.kind);
+    if let Some(seed) = header.seed {
+        let _ = write!(out, ",\"seed\":{seed}");
+    }
+    if let Some(processes) = header.processes {
+        let _ = write!(out, ",\"processes\":{processes}");
+    }
+    if let Some(ops) = header.ops_per_process {
+        let _ = write!(out, ",\"ops_per_process\":{ops}");
+    }
+    if let Some(name) = &header.implementation {
+        out.push_str(",\"impl\":");
+        write_escaped(&mut out, name);
+    }
+    let _ = write!(out, ",\"provenance\":\"{}\"}}", header.provenance);
+    out
+}
+
+/// Decodes the header from its JSONL line. `location` names the line for errors.
+pub(crate) fn decode_header(line: &str, location: &str) -> Result<TraceHeader, TraceError> {
+    let value = json::parse(line, location)?;
+    let format = value.get("format").and_then(Json::as_str);
+    if format != Some("linrv-trace") {
+        return Err(TraceError::malformed(
+            location,
+            "missing or wrong \"format\" field (expected \"linrv-trace\")",
+        ));
+    }
+    let version = value
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| TraceError::malformed(location, "missing \"version\" field"))?;
+    if version != u64::from(FORMAT_VERSION) {
+        return Err(TraceError::UnsupportedVersion(
+            version.min(u64::from(u16::MAX)) as u16,
+        ));
+    }
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| TraceError::malformed(location, "missing \"kind\" field"))?
+        .parse()
+        .map_err(|err: String| TraceError::malformed(location, err))?;
+    let mut header = TraceHeader::new(kind);
+    if let Some(seed) = value.get("seed") {
+        header.seed = Some(
+            seed.as_u64()
+                .ok_or_else(|| TraceError::malformed(location, "\"seed\" must be a u64"))?,
+        );
+    }
+    if let Some(processes) = value.get("processes") {
+        header.processes = Some(decode_u32(processes, "processes", location)?);
+    }
+    if let Some(ops) = value.get("ops_per_process") {
+        header.ops_per_process = Some(decode_u32(ops, "ops_per_process", location)?);
+    }
+    if let Some(name) = value.get("impl") {
+        header.implementation = Some(
+            name.as_str()
+                .ok_or_else(|| TraceError::malformed(location, "\"impl\" must be a string"))?
+                .to_owned(),
+        );
+    }
+    if let Some(provenance) = value.get("provenance") {
+        header.provenance = provenance
+            .as_str()
+            .ok_or_else(|| TraceError::malformed(location, "\"provenance\" must be a string"))?
+            .parse::<Provenance>()
+            .map_err(|err| TraceError::malformed(location, err))?;
+    }
+    Ok(header)
+}
+
+fn decode_u32(value: &Json, field: &str, location: &str) -> Result<u32, TraceError> {
+    value
+        .as_u64()
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| TraceError::malformed(location, format!("\"{field}\" must be a u32")))
+}
+
+/// Appends one event's JSONL line (without the trailing newline) to `out`.
+///
+/// Appending into a caller-owned buffer keeps the per-event hot path of
+/// [`TraceWriter`](crate::TraceWriter) allocation-free in steady state.
+pub(crate) fn encode_event(out: &mut String, event: &Event) {
+    match &event.kind {
+        EventKind::Invocation { op } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"inv\",\"p\":{},\"id\":{},\"op\":",
+                event.process.index(),
+                event.op_id.raw()
+            );
+            write_escaped(out, &op.kind);
+            out.push_str(",\"arg\":");
+            encode_value(out, &op.arg);
+        }
+        EventKind::Response { value } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"res\",\"p\":{},\"id\":{},\"val\":",
+                event.process.index(),
+                event.op_id.raw()
+            );
+            encode_value(out, value);
+        }
+    }
+    out.push('}');
+}
+
+/// Decodes one event from its JSONL line. `location` names the line for errors.
+pub(crate) fn decode_event(line: &str, location: &str) -> Result<Event, TraceError> {
+    let value = json::parse(line, location)?;
+    let process = value
+        .get("p")
+        .and_then(Json::as_u64)
+        .and_then(|p| u32::try_from(p).ok())
+        .ok_or_else(|| TraceError::malformed(location, "missing or invalid \"p\" field"))?;
+    let op_id = value
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| TraceError::malformed(location, "missing or invalid \"id\" field"))?;
+    match value.get("e").and_then(Json::as_str) {
+        Some("inv") => {
+            let kind = value
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| TraceError::malformed(location, "invocation without \"op\""))?;
+            let arg = value
+                .get("arg")
+                .ok_or_else(|| TraceError::malformed(location, "invocation without \"arg\""))?;
+            Ok(Event::invocation(
+                ProcessId::new(process),
+                OpId::new(op_id),
+                Operation::new(kind, decode_value(arg, location)?),
+            ))
+        }
+        Some("res") => {
+            let val = value
+                .get("val")
+                .ok_or_else(|| TraceError::malformed(location, "response without \"val\""))?;
+            Ok(Event::response(
+                ProcessId::new(process),
+                OpId::new(op_id),
+                decode_value(val, location)?,
+            ))
+        }
+        _ => Err(TraceError::malformed(
+            location,
+            "missing \"e\" field (expected \"inv\" or \"res\")",
+        )),
+    }
+}
+
+/// Appends the JSON encoding of an [`OpValue`] to `out`.
+///
+/// Bare forms: `null` (unit), booleans, integers, strings and arrays (lists).
+/// Tagged objects carry the rest: `{"t":"empty"}`, `{"t":"error"}` and
+/// `{"t":"pair","a":…,"b":…}`.
+fn encode_value(out: &mut String, value: &OpValue) {
+    match value {
+        OpValue::Unit => out.push_str("null"),
+        OpValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        OpValue::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        OpValue::Str(s) => write_escaped(out, s),
+        OpValue::Empty => out.push_str("{\"t\":\"empty\"}"),
+        OpValue::Error => out.push_str("{\"t\":\"error\"}"),
+        OpValue::Pair(a, b) => {
+            out.push_str("{\"t\":\"pair\",\"a\":");
+            encode_value(out, a);
+            out.push_str(",\"b\":");
+            encode_value(out, b);
+            out.push('}');
+        }
+        OpValue::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_value(out, item);
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn decode_value(value: &Json, location: &str) -> Result<OpValue, TraceError> {
+    match value {
+        Json::Null => Ok(OpValue::Unit),
+        Json::Bool(b) => Ok(OpValue::Bool(*b)),
+        Json::Int(i) => Ok(OpValue::Int(*i)),
+        Json::UInt(_) => Err(TraceError::malformed(
+            location,
+            "integer value does not fit i64",
+        )),
+        Json::Str(s) => Ok(OpValue::Str(s.clone())),
+        Json::Array(items) => items
+            .iter()
+            .map(|item| decode_value(item, location))
+            .collect::<Result<Vec<_>, _>>()
+            .map(OpValue::List),
+        Json::Object(_) => match value.get("t").and_then(Json::as_str) {
+            Some("empty") => Ok(OpValue::Empty),
+            Some("error") => Ok(OpValue::Error),
+            Some("pair") => {
+                let a = value
+                    .get("a")
+                    .ok_or_else(|| TraceError::malformed(location, "pair without \"a\""))?;
+                let b = value
+                    .get("b")
+                    .ok_or_else(|| TraceError::malformed(location, "pair without \"b\""))?;
+                Ok(OpValue::pair(
+                    decode_value(a, location)?,
+                    decode_value(b, location)?,
+                ))
+            }
+            _ => Err(TraceError::malformed(
+                location,
+                "tagged value with unknown or missing \"t\"",
+            )),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_spec::ObjectKind;
+
+    fn round_trip_event(event: Event) {
+        let mut line = String::new();
+        encode_event(&mut line, &event);
+        assert_eq!(decode_event(&line, "test").unwrap(), event);
+    }
+
+    #[test]
+    fn header_round_trips_with_and_without_optional_fields() {
+        let full = TraceHeader::new(ObjectKind::PriorityQueue)
+            .with_seed(u64::MAX)
+            .with_processes(4)
+            .with_ops_per_process(100)
+            .with_implementation("spec \"quoted\" name")
+            .with_provenance(Provenance::Faulty);
+        let line = encode_header(&full);
+        assert_eq!(decode_header(&line, "test").unwrap(), full);
+
+        let minimal = TraceHeader::new(ObjectKind::Consensus);
+        let line = encode_header(&minimal);
+        assert_eq!(decode_header(&line, "test").unwrap(), minimal);
+    }
+
+    #[test]
+    fn events_round_trip_for_every_value_shape() {
+        let p = ProcessId::new(3);
+        round_trip_event(Event::invocation(
+            p,
+            OpId::new(0),
+            Operation::new("Enqueue", OpValue::Int(-5)),
+        ));
+        round_trip_event(Event::invocation(
+            p,
+            OpId::new(1),
+            Operation::nullary("Dequeue"),
+        ));
+        round_trip_event(Event::response(p, OpId::new(2), OpValue::Bool(true)));
+        round_trip_event(Event::response(p, OpId::new(3), OpValue::Empty));
+        round_trip_event(Event::response(p, OpId::new(4), OpValue::Error));
+        round_trip_event(Event::response(
+            p,
+            OpId::new(5),
+            OpValue::Str("x\"y".into()),
+        ));
+        round_trip_event(Event::response(
+            p,
+            OpId::new(6),
+            OpValue::pair(
+                OpValue::List(vec![OpValue::Int(1), OpValue::Unit]),
+                OpValue::Empty,
+            ),
+        ));
+    }
+
+    #[test]
+    fn header_rejections_name_the_field() {
+        let cases = [
+            ("{}", "format"),
+            ("{\"format\":\"linrv-trace\"}", "version"),
+            ("{\"format\":\"linrv-trace\",\"version\":1}", "kind"),
+            (
+                "{\"format\":\"linrv-trace\",\"version\":1,\"kind\":\"blob\"}",
+                "blob",
+            ),
+            (
+                "{\"format\":\"linrv-trace\",\"version\":1,\"kind\":\"queue\",\"seed\":-1}",
+                "seed",
+            ),
+        ];
+        for (line, needle) in cases {
+            let err = decode_header(line, "test").unwrap_err().to_string();
+            assert!(
+                err.contains(needle),
+                "{line}: {err} should mention {needle}"
+            );
+        }
+        assert!(matches!(
+            decode_header(
+                "{\"format\":\"linrv-trace\",\"version\":99,\"kind\":\"queue\"}",
+                "t"
+            ),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn event_rejections_name_the_field() {
+        for line in [
+            "{}",
+            "{\"e\":\"inv\",\"p\":0,\"id\":1}",
+            "{\"e\":\"res\",\"p\":0,\"id\":1}",
+            "{\"e\":\"zap\",\"p\":0,\"id\":1}",
+            "{\"e\":\"res\",\"id\":1,\"val\":null}",
+            "{\"e\":\"res\",\"p\":0,\"id\":1,\"val\":{\"t\":\"wat\"}}",
+            "{\"e\":\"res\",\"p\":0,\"id\":1,\"val\":18446744073709551615}",
+        ] {
+            assert!(decode_event(line, "test").is_err(), "{line} should fail");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Streaming trace readers with format auto-detection.
+
+use crate::error::TraceError;
+use crate::header::{TraceFormat, TraceHeader};
+use crate::{binary, jsonl};
+use linrv_history::{Event, History};
+use std::io::{BufRead, BufReader, Read};
+
+/// A streaming trace reader: the header is decoded on construction, then events
+/// are yielded one at a time — the whole history is never buffered.
+///
+/// The on-disk format is auto-detected from the first byte: `{` starts a JSONL
+/// header line, `L` starts the binary magic (`LINRVTRC`).
+///
+/// Iteration yields `Result<Event, TraceError>` and fuses after the first
+/// error: a torn or corrupted trace produces the events before the damage,
+/// then exactly one `Err`.
+pub struct TraceReader<R: Read> {
+    input: BufReader<R>,
+    format: TraceFormat,
+    header: TraceHeader,
+    /// 1-based line number (JSONL) or frame index (binary) for error messages.
+    record: u64,
+    /// Set after EOF or the first error; the iterator is fused.
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Auto-detects the format and decodes the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] when the stream is empty, starts with neither
+    /// format, or its header is malformed.
+    pub fn new(input: R) -> Result<Self, TraceError> {
+        let mut input = BufReader::new(input);
+        // Peek one byte to auto-detect the format (an empty fill_buf is EOF).
+        let first = *input.fill_buf()?.first().ok_or(TraceError::UnknownFormat)?;
+        match first {
+            b'{' => {
+                let line = read_capped_line(&mut input, "line 1")?
+                    .ok_or_else(|| TraceError::malformed("line 1", "missing header line"))?;
+                let header = jsonl::decode_header(line.trim_end(), "line 1")?;
+                Ok(TraceReader {
+                    input,
+                    format: TraceFormat::Jsonl,
+                    header,
+                    record: 1,
+                    done: false,
+                })
+            }
+            _ if first == binary::MAGIC[0] => {
+                binary::read_preamble(&mut input)?;
+                let payload = binary::read_frame(&mut input, "frame 0")?
+                    .ok_or_else(|| TraceError::malformed("frame 0", "missing header frame"))?;
+                let header = binary::decode_header(&payload, "frame 0")?;
+                Ok(TraceReader {
+                    input,
+                    format: TraceFormat::Binary,
+                    header,
+                    record: 0,
+                    done: false,
+                })
+            }
+            _ => Err(TraceError::UnknownFormat),
+        }
+    }
+
+    /// The trace's metadata header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// The detected on-disk format.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    fn next_jsonl(&mut self) -> Option<Result<Event, TraceError>> {
+        loop {
+            let location = format!("line {}", self.record + 1);
+            let line = match read_capped_line(&mut self.input, &location) {
+                Ok(Some(line)) => line,
+                Ok(None) => return None,
+                Err(err) => return Some(Err(err)),
+            };
+            self.record += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue; // blank lines between events are tolerated
+            }
+            return Some(jsonl::decode_event(trimmed, &location));
+        }
+    }
+
+    fn next_binary(&mut self) -> Option<Result<Event, TraceError>> {
+        self.record += 1;
+        let location = format!("frame {}", self.record);
+        match binary::read_frame(&mut self.input, &location) {
+            Ok(None) => None,
+            Ok(Some(payload)) => Some(binary::decode_event(&payload, &location)),
+            Err(err) => Some(Err(err)),
+        }
+    }
+}
+
+/// Upper bound on a single JSONL line, mirroring the binary frame cap: a
+/// corrupted (newline-less) stream must surface as an error, not as an
+/// unbounded allocation.
+const MAX_LINE_LEN: u64 = 1 << 24; // 16 MiB
+
+/// Reads one line of at most [`MAX_LINE_LEN`] bytes; `Ok(None)` at EOF.
+fn read_capped_line(
+    input: &mut impl BufRead,
+    location: &str,
+) -> Result<Option<String>, TraceError> {
+    let mut line = String::new();
+    let read = input.take(MAX_LINE_LEN + 1).read_line(&mut line)?;
+    if read == 0 {
+        return Ok(None);
+    }
+    if line.len() as u64 > MAX_LINE_LEN {
+        return Err(TraceError::malformed(
+            location,
+            format!("line exceeds the {MAX_LINE_LEN}-byte cap"),
+        ));
+    }
+    Ok(Some(line))
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Event, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let next = match self.format {
+            TraceFormat::Jsonl => self.next_jsonl(),
+            TraceFormat::Binary => self.next_binary(),
+        };
+        match &next {
+            None | Some(Err(_)) => self.done = true,
+            Some(Ok(_)) => {}
+        }
+        next
+    }
+}
+
+/// Reads a whole trace into memory: the header and the [`History`].
+///
+/// Convenience for tests and small traces; large traces should iterate a
+/// [`TraceReader`] instead.
+///
+/// # Errors
+///
+/// Returns the first [`TraceError`] encountered.
+pub fn read_history<R: Read>(input: R) -> Result<(TraceHeader, History), TraceError> {
+    let mut reader = TraceReader::new(input)?;
+    let mut history = History::new();
+    for event in &mut reader {
+        history.push(event?);
+    }
+    Ok((reader.header().clone(), history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_history;
+    use linrv_history::{OpId, OpValue, Operation, ProcessId};
+    use linrv_spec::ObjectKind;
+
+    fn sample_history() -> History {
+        History::from_events(vec![
+            Event::invocation(
+                ProcessId::new(0),
+                OpId::new(0),
+                Operation::new("Push", OpValue::Int(3)),
+            ),
+            Event::invocation(ProcessId::new(1), OpId::new(1), Operation::nullary("Pop")),
+            Event::response(ProcessId::new(1), OpId::new(1), OpValue::Int(3)),
+            Event::response(ProcessId::new(0), OpId::new(0), OpValue::Bool(true)),
+        ])
+    }
+
+    #[test]
+    fn auto_detects_both_formats() {
+        let header = TraceHeader::new(ObjectKind::Stack);
+        for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+            let mut bytes = Vec::new();
+            write_history(&mut bytes, format, &header, &sample_history()).unwrap();
+            let reader = TraceReader::new(bytes.as_slice()).unwrap();
+            assert_eq!(reader.format(), format);
+            assert_eq!(reader.header().kind, ObjectKind::Stack);
+            let events: Result<Vec<_>, _> = reader.collect();
+            assert_eq!(events.unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn unknown_streams_are_rejected() {
+        assert!(matches!(
+            TraceReader::new(b"".as_slice()),
+            Err(TraceError::UnknownFormat)
+        ));
+        assert!(matches!(
+            TraceReader::new(b"#comment".as_slice()),
+            Err(TraceError::UnknownFormat)
+        ));
+        assert!(matches!(
+            TraceReader::new(b"LOOKSWRONG".as_slice()),
+            Err(TraceError::UnknownFormat)
+        ));
+    }
+
+    #[test]
+    fn jsonl_reader_reports_the_failing_line_and_fuses() {
+        let header = TraceHeader::new(ObjectKind::Queue);
+        let mut bytes = Vec::new();
+        write_history(&mut bytes, TraceFormat::Jsonl, &header, &sample_history()).unwrap();
+        bytes.extend_from_slice(b"{\"e\":\"inv\"}\n");
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let mut ok = 0;
+        let mut errs = Vec::new();
+        for item in &mut reader {
+            match item {
+                Ok(_) => ok += 1,
+                Err(err) => errs.push(err),
+            }
+        }
+        assert_eq!(ok, 4);
+        assert_eq!(errs.len(), 1, "the iterator must fuse after one error");
+        assert!(errs[0].to_string().contains("line 6"));
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn blank_jsonl_lines_are_tolerated() {
+        let header = TraceHeader::new(ObjectKind::Queue);
+        let mut bytes = Vec::new();
+        write_history(&mut bytes, TraceFormat::Jsonl, &header, &sample_history()).unwrap();
+        let patched = String::from_utf8(bytes).unwrap().replace('\n', "\n\n");
+        let (_, history) = read_history(patched.as_bytes()).unwrap();
+        assert_eq!(history, sample_history());
+    }
+
+    #[test]
+    fn overlong_jsonl_lines_error_instead_of_buffering_unboundedly() {
+        let header = TraceHeader::new(ObjectKind::Queue);
+        let mut bytes = Vec::new();
+        write_history(&mut bytes, TraceFormat::Jsonl, &header, &sample_history()).unwrap();
+        // A corrupted, newline-less tail longer than the line cap.
+        bytes.extend_from_slice(b"{\"e\":\"res\",\"p\":0,\"id\":9,\"val\":\"");
+        bytes.extend_from_slice(&vec![b'x'; (super::MAX_LINE_LEN + 10) as usize]);
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let items: Vec<_> = reader.collect();
+        assert_eq!(items.iter().filter(|i| i.is_ok()).count(), 4);
+        let err = items.last().unwrap().as_ref().unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn truncated_binary_trace_surfaces_one_error() {
+        let header = TraceHeader::new(ObjectKind::Queue);
+        let mut bytes = Vec::new();
+        write_history(&mut bytes, TraceFormat::Binary, &header, &sample_history()).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let items: Vec<_> = reader.collect();
+        assert!(items.last().unwrap().is_err());
+        assert_eq!(items.iter().filter(|i| i.is_err()).count(), 1);
+    }
+}

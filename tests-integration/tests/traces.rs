@@ -1,0 +1,152 @@
+//! Golden-trace corpus regression tests.
+//!
+//! The files under `tests-integration/traces/` were generated once with
+//! `linrv gen` at fixed seeds (one correct + one faulty trace per object kind)
+//! and committed. They pin three things at once: the on-disk format (a codec
+//! change that cannot read them is a format break and must bump the version),
+//! the deterministic generator (regenerating with the same seed must reproduce
+//! them) and the checker's verdicts (correct traces accept, faulty traces
+//! reject).
+
+use linrv_check::stream::check_events;
+use linrv_history::History;
+use linrv_spec::{
+    ConsensusSpec, CounterSpec, ObjectKind, PriorityQueueSpec, QueueSpec, RegisterSpec, SetSpec,
+    StackSpec,
+};
+use linrv_trace::{read_history, write_history, Provenance, TraceFormat, TraceReader};
+use std::fs::File;
+use std::path::PathBuf;
+
+fn traces_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("traces")
+}
+
+/// Streams `reader` into the checker for `kind`; `true` means violation.
+fn is_violation(kind: ObjectKind, reader: TraceReader<File>) -> bool {
+    macro_rules! check {
+        ($spec:expr) => {
+            check_events($spec, reader)
+                .expect("golden trace must be readable")
+                .1
+                .is_violation()
+        };
+    }
+    match kind {
+        ObjectKind::Queue => check!(QueueSpec::new()),
+        ObjectKind::Stack => check!(StackSpec::new()),
+        ObjectKind::Set => check!(SetSpec::new()),
+        ObjectKind::PriorityQueue => check!(PriorityQueueSpec::new()),
+        ObjectKind::Counter => check!(CounterSpec::new()),
+        ObjectKind::Register => check!(RegisterSpec::new()),
+        ObjectKind::Consensus => check!(ConsensusSpec::new()),
+    }
+}
+
+#[test]
+fn corpus_has_one_correct_and_one_faulty_trace_per_kind() {
+    for kind in ObjectKind::ALL {
+        for suffix in ["correct", "faulty"] {
+            let path = traces_dir().join(format!("{kind}-{suffix}.jsonl"));
+            assert!(path.is_file(), "missing golden trace {}", path.display());
+        }
+    }
+}
+
+#[test]
+fn check_accepts_every_correct_and_rejects_every_faulty_golden_trace() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(traces_dir()).expect("traces dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        seen += 1;
+        let reader = TraceReader::new(File::open(&path).expect("open trace"))
+            .unwrap_or_else(|err| panic!("{}: {err}", path.display()));
+        let header = reader.header().clone();
+        let name = path.file_stem().unwrap().to_string_lossy().to_string();
+        // The filename suffix and the header's provenance must agree — a
+        // mislabelled corpus entry would silently weaken this test.
+        let expected_violation = match header.provenance {
+            Provenance::Faulty => {
+                assert!(name.ends_with("-faulty"), "{name}: header says faulty");
+                true
+            }
+            Provenance::Correct => {
+                assert!(name.ends_with("-correct"), "{name}: header says correct");
+                false
+            }
+            Provenance::Unknown => panic!("{name}: golden traces must declare provenance"),
+        };
+        assert_eq!(header.seed, Some(42), "{name}: corpus uses seed 42");
+        assert_eq!(
+            is_violation(header.kind, reader),
+            expected_violation,
+            "{name}: checker verdict must match provenance"
+        );
+    }
+    assert_eq!(seen, 14, "two traces per kind, seven kinds");
+}
+
+#[test]
+fn golden_traces_convert_losslessly_between_both_encodings() {
+    for entry in std::fs::read_dir(traces_dir()).expect("traces dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        let original_bytes = std::fs::read(&path).expect("read trace");
+        let (header, history) = read_history(original_bytes.as_slice())
+            .unwrap_or_else(|err| panic!("{}: {err}", path.display()));
+
+        // jsonl → binary → History: identical logical content.
+        let mut binary = Vec::new();
+        write_history(&mut binary, TraceFormat::Binary, &header, &history).unwrap();
+        let (header2, history2) = read_history(binary.as_slice()).unwrap();
+        assert_eq!(header2, header, "{}", path.display());
+        assert_eq!(history2, history, "{}", path.display());
+        assert!(
+            binary.len() < original_bytes.len(),
+            "{}: the binary encoding should be denser",
+            path.display()
+        );
+
+        // binary → jsonl: byte-identical to the committed file (the encoder is
+        // canonical, so conversion round-trips exactly).
+        let mut jsonl = Vec::new();
+        write_history(&mut jsonl, TraceFormat::Jsonl, &header2, &history2).unwrap();
+        assert_eq!(
+            jsonl,
+            original_bytes,
+            "{}: jsonl→binary→jsonl must be byte-identical",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_histories_are_well_formed_and_complete() {
+    for entry in std::fs::read_dir(traces_dir()).expect("traces dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        let (header, history): (_, History) =
+            read_history(File::open(&path).expect("open")).expect("read");
+        assert!(history.is_well_formed(), "{}", path.display());
+        assert_eq!(
+            history.pending_operations().count(),
+            0,
+            "{}: scheduled runs complete every operation",
+            path.display()
+        );
+        let processes = header.processes.expect("corpus records process count");
+        assert_eq!(
+            history.processes().len(),
+            processes as usize,
+            "{}",
+            path.display()
+        );
+    }
+}
