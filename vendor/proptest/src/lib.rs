@@ -125,6 +125,8 @@ impl_tuple_strategy!(A.0);
 impl_tuple_strategy!(A.0, B.1);
 impl_tuple_strategy!(A.0, B.1, C.2);
 impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
 
 /// Types with a canonical "generate anything" strategy.
 pub trait Arbitrary: Sized {
@@ -339,6 +341,8 @@ impl_case_strategies!(A.0);
 impl_case_strategies!(A.0, B.1);
 impl_case_strategies!(A.0, B.1, C.2);
 impl_case_strategies!(A.0, B.1, C.2, D.3);
+impl_case_strategies!(A.0, B.1, C.2, D.3, E.4);
+impl_case_strategies!(A.0, B.1, C.2, D.3, E.4, F.5);
 
 #[cfg(test)]
 mod tests {
