@@ -43,6 +43,7 @@ pub mod genlin;
 pub mod linearizability;
 pub mod partitioned;
 pub mod setlin;
+pub mod specialized;
 pub mod stream;
 pub mod tasks;
 pub mod witness;
@@ -51,6 +52,9 @@ pub use genlin::{ClosureReport, GenLinObject};
 pub use linearizability::{CheckerConfig, LinSpec};
 pub use partitioned::PartitionedSpec;
 pub use setlin::{SetLinCounterSpec, SetLinSpec, SetSequentialSpec};
+pub use specialized::{
+    check_specialized, CheckerStrategy, FallbackReason, Route, SpecializedResult, StrategyChecker,
+};
 pub use stream::{check_events, StreamingChecker};
 pub use tasks::{OneShotTaskObject, Task, TaskInstance};
 pub use witness::{Verdict, Violation};

@@ -17,7 +17,7 @@
 //! [`PartitionedSpec::new`].
 
 use crate::genlin::GenLinObject;
-use crate::linearizability::LinSpec;
+use crate::specialized::StrategyChecker;
 use crate::witness::{Verdict, Violation};
 use linrv_history::{History, Operation};
 use linrv_spec::SequentialSpec;
@@ -86,7 +86,11 @@ where
         let mut inconclusive = false;
         for (key, events) in per_key {
             let sub_history = History::from_events(events);
-            let sub = LinSpec::new((self.sub_spec_factory)());
+            // Per-key sub-histories go through the strategy dispatch too: a
+            // specialized monitor (when the sub-spec's kind has one and the
+            // projection is unambiguous) beats the general search on every
+            // partition.
+            let sub = StrategyChecker::new((self.sub_spec_factory)());
             match sub.check(&sub_history) {
                 Verdict::Member { .. } => {}
                 Verdict::NotMember { violation } => {
@@ -142,6 +146,7 @@ pub fn partitioned_set() -> PartitionedSpec<linrv_spec::SetSpec, fn(&Operation) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::linearizability::LinSpec;
     use linrv_history::{HistoryBuilder, OpValue, ProcessId};
     use linrv_spec::ops::set as ops;
     use linrv_spec::SetSpec;

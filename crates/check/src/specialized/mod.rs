@@ -1,0 +1,287 @@
+//! Specialized log-linear linearizability monitors and the strategy dispatch
+//! that routes histories to them.
+//!
+//! The general membership decision ([`LinSpec`]) is a Wing–Gong search:
+//! worst-case exponential, NP-complete in general (Gibbons & Korach). But for
+//! the concrete objects of this crate — queue, stack, set, priority queue,
+//! register, counter — *unambiguous* histories (no two insertions of the same
+//! value) admit log-linear decision procedures in the style of Lee & Mathur's
+//! decrease-and-conquer monitors and Abdulla et al.'s per-type algorithms.
+//! This module implements them behind [`CheckerStrategy`] / [`StrategyChecker`]
+//! so that `linrv check`, [`StreamingChecker`](crate::stream::StreamingChecker)
+//! and the `linrv` facade all benefit transparently.
+//!
+//! # Soundness architecture
+//!
+//! Every specialized monitor is *sound by construction* on both sides:
+//!
+//! * It answers [`SpecializedResult::Member`] only after explicitly
+//!   constructing a candidate linearization order **and** validating it: the
+//!   order must extend the real-time precedence relation (checked with the
+//!   greedy point-assignment lemma in `util::respects_precedence`) and must
+//!   replay through the sequential semantics reproducing every recorded
+//!   response. A validated witness is a linearization regardless of how the
+//!   heuristic that produced it works.
+//! * It answers [`SpecializedResult::NotMember`] only from individually sound
+//!   bad patterns (e.g. a value dequeued twice, a FIFO inversion forced by
+//!   real-time order, an empty-dequeue whose window is necessarily covered).
+//! * In every other situation it returns [`SpecializedResult::Fallback`] and
+//!   the general search decides. A fallback is never wrong, only slower.
+//!
+//! # When the specialized path applies
+//!
+//! The monitors assume the **canonical sequential semantics** that
+//! [`ObjectKind`] denotes in `linrv-spec` (`QueueSpec`, `StackSpec`, …). A
+//! custom [`SequentialSpec`] whose `kind()` claims e.g. `Queue` but whose
+//! `step` differs must use [`CheckerStrategy::General`]. Within that contract
+//! the dispatch falls back to the general search whenever
+//!
+//! * the history is **ambiguous** — two insertions of the same value (for the
+//!   register: two writes of the same value, or any write of the initial value
+//!   `0`), which breaks the unique-matching precondition of the log-linear
+//!   algorithms;
+//! * the history has **pending operations** the monitor cannot reason about
+//!   (the queue monitor handles pending operations natively; the others
+//!   decline);
+//! * the monitor's constructive phase cannot find a witness even though no
+//!   sound bad pattern fired (**undecided** — rare, but possible because the
+//!   greedy construction is not complete);
+//! * the object kind has no specialized monitor (`Consensus`, or custom
+//!   kinds).
+
+use crate::genlin::GenLinObject;
+use crate::linearizability::{CheckerConfig, LinSpec};
+use crate::witness::{Verdict, Violation};
+use linrv_history::History;
+use linrv_spec::{ObjectKind, SequentialSpec};
+use std::fmt;
+
+mod counter;
+mod pqueue;
+mod queue;
+mod register;
+mod set;
+mod stack;
+mod util;
+
+/// How [`StrategyChecker`] decides which decision procedure to run.
+///
+/// The unambiguity precondition and the complete fallback rules are
+/// documented on the [module page](self); in short: [`Auto`] uses the
+/// log-linear specialized monitor whenever the spec's [`ObjectKind`] has one
+/// *and* the history satisfies its preconditions (distinct inserted values,
+/// supported pending-operation shape), and silently falls back to the general
+/// Wing–Gong search otherwise. The verdict is the same either way; only the
+/// cost differs.
+///
+/// [`Auto`]: CheckerStrategy::Auto
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CheckerStrategy {
+    /// Specialized monitor when applicable, general search otherwise.
+    ///
+    /// Requires the spec to carry the canonical semantics of its
+    /// [`ObjectKind`] (the `linrv-spec` objects do). This is the default.
+    #[default]
+    Auto,
+    /// Always run the general Wing–Gong search, ignoring the specialized
+    /// monitors. Use this for custom specs whose semantics differ from the
+    /// canonical object of their declared kind.
+    General,
+    /// Run *only* the specialized monitor and report
+    /// [`Verdict::Inconclusive`] when it declines. Useful in benchmarks and
+    /// tests that must prove the fast path actually decided.
+    SpecializedOnly,
+}
+
+/// Why the specialized monitor declined and the general search ran instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Pending operations the monitor cannot reason about.
+    Pending,
+    /// Duplicate inserted values (or a write of the register's initial value):
+    /// the unique-matching precondition fails.
+    Ambiguous,
+    /// No sound bad pattern fired, but the constructive phase found no
+    /// validated witness either.
+    Undecided,
+    /// No specialized monitor exists for this object kind, or the history is
+    /// not well formed.
+    Unsupported,
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let reason = match self {
+            FallbackReason::Pending => "pending operations",
+            FallbackReason::Ambiguous => "ambiguous (duplicate) values",
+            FallbackReason::Undecided => "constructive phase undecided",
+            FallbackReason::Unsupported => "no specialized monitor",
+        };
+        f.write_str(reason)
+    }
+}
+
+/// Outcome of running just the specialized monitor for one object kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecializedResult {
+    /// A linearization was constructed and validated: the history is a member.
+    Member,
+    /// A sound bad pattern was found; the string explains it.
+    NotMember(String),
+    /// The monitor declines; the caller should run the general search.
+    Fallback(FallbackReason),
+}
+
+/// Runs the specialized monitor for `kind` over `history`, without any
+/// general-search fallback.
+///
+/// This is the raw entry point used by [`StrategyChecker`] and the benchmark
+/// suite; most callers want [`StrategyChecker::check`] instead. The monitors
+/// assume the canonical `linrv-spec` semantics of `kind` (see the
+/// [module docs](self)).
+pub fn check_specialized(kind: ObjectKind, history: &History) -> SpecializedResult {
+    if history.check_well_formed().is_err() {
+        // Let the general checker produce the canonical malformed-history
+        // violation rather than duplicating its diagnostics here.
+        return SpecializedResult::Fallback(FallbackReason::Unsupported);
+    }
+    match kind {
+        ObjectKind::Queue => queue::check(history),
+        ObjectKind::Stack => stack::check(history),
+        ObjectKind::Set => set::check(history),
+        ObjectKind::PriorityQueue => pqueue::check(history),
+        ObjectKind::Counter => counter::check(history),
+        ObjectKind::Register => register::check(history),
+        _ => SpecializedResult::Fallback(FallbackReason::Unsupported),
+    }
+}
+
+/// Which decision procedure produced a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The specialized log-linear monitor decided.
+    Specialized,
+    /// The specialized monitor declined for the recorded reason and the
+    /// general search decided.
+    GeneralFallback(FallbackReason),
+    /// The general search ran directly (strategy [`CheckerStrategy::General`]).
+    General,
+    /// The specialized monitor declined and no fallback was allowed
+    /// (strategy [`CheckerStrategy::SpecializedOnly`]).
+    Declined(FallbackReason),
+}
+
+/// Linearizability checker with strategy dispatch: specialized log-linear
+/// monitors where they apply, the general [`LinSpec`] search everywhere else.
+///
+/// ```
+/// use linrv_check::specialized::StrategyChecker;
+/// use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+/// use linrv_spec::{ops::queue, QueueSpec};
+///
+/// let mut b = HistoryBuilder::new();
+/// let p = ProcessId::new(0);
+/// b.complete(p, queue::enqueue(1), OpValue::Bool(true));
+/// b.complete(p, queue::dequeue(), OpValue::Int(1));
+/// let checker = StrategyChecker::new(QueueSpec::new());
+/// assert!(checker.check(&b.build()).is_member());
+/// ```
+pub struct StrategyChecker<S: SequentialSpec> {
+    general: LinSpec<S>,
+    kind: ObjectKind,
+    strategy: CheckerStrategy,
+}
+
+impl<S: SequentialSpec> StrategyChecker<S> {
+    /// Creates a checker with [`CheckerStrategy::Auto`] dispatch.
+    pub fn new(spec: S) -> Self {
+        Self::with_strategy(spec, CheckerStrategy::Auto)
+    }
+
+    /// Creates a checker with an explicit strategy.
+    pub fn with_strategy(spec: S, strategy: CheckerStrategy) -> Self {
+        Self::with_config(spec, CheckerConfig::default(), strategy)
+    }
+
+    /// Creates a checker with an explicit strategy and a general-search
+    /// configuration (used on the fallback path).
+    pub fn with_config(spec: S, config: CheckerConfig, strategy: CheckerStrategy) -> Self {
+        let kind = spec.kind();
+        StrategyChecker {
+            general: LinSpec::with_config(spec, config),
+            kind,
+            strategy,
+        }
+    }
+
+    /// The strategy this checker dispatches with.
+    pub fn strategy(&self) -> CheckerStrategy {
+        self.strategy
+    }
+
+    /// The general checker used on the fallback path.
+    pub fn general(&self) -> &LinSpec<S> {
+        &self.general
+    }
+
+    /// Decides membership. Equivalent to [`LinSpec::check`] but routed per
+    /// the strategy; see [`Self::check_routed`] to observe the routing.
+    pub fn check(&self, history: &History) -> Verdict {
+        self.check_routed(history).0
+    }
+
+    /// Decides membership and reports which procedure produced the verdict.
+    pub fn check_routed(&self, history: &History) -> (Verdict, Route) {
+        let reason = match self.strategy {
+            CheckerStrategy::General => {
+                return (self.general.check(history), Route::General);
+            }
+            CheckerStrategy::Auto | CheckerStrategy::SpecializedOnly => {
+                match check_specialized(self.kind, history) {
+                    SpecializedResult::Member => {
+                        return (
+                            Verdict::Member {
+                                linearization: None,
+                            },
+                            Route::Specialized,
+                        );
+                    }
+                    SpecializedResult::NotMember(explanation) => {
+                        return (
+                            Verdict::NotMember {
+                                violation: Violation {
+                                    history: history.clone(),
+                                    explanation: format!(
+                                        "specialized {} monitor: {explanation}",
+                                        self.kind
+                                    ),
+                                },
+                            },
+                            Route::Specialized,
+                        );
+                    }
+                    SpecializedResult::Fallback(reason) => reason,
+                }
+            }
+        };
+        if self.strategy == CheckerStrategy::SpecializedOnly {
+            (Verdict::Inconclusive, Route::Declined(reason))
+        } else {
+            (self.general.check(history), Route::GeneralFallback(reason))
+        }
+    }
+}
+
+impl<S: SequentialSpec> GenLinObject for StrategyChecker<S> {
+    fn contains(&self, history: &History) -> bool {
+        !self.check(history).is_violation()
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "linearizability w.r.t. {} (strategy dispatch: specialized monitor \
+             with general-search fallback)",
+            self.kind
+        )
+    }
+}

@@ -1,0 +1,603 @@
+//! Specialized FIFO-queue monitor for unambiguous histories.
+//!
+//! An unambiguous queue history (no value enqueued twice) has a *forced
+//! matching*: each dequeued value belongs to exactly one enqueue. That makes
+//! linearizability decidable in O(n log n) with the bad-pattern
+//! characterisation of Lee & Mathur / Bouajjani et al.:
+//!
+//! 1. a value dequeued but never enqueued, or dequeued twice;
+//! 2. a dequeue completing before its enqueue is invoked;
+//! 3. a FIFO inversion forced by real time — `v` enqueued before `w` but
+//!    dequeued after it (a never-dequeued `v` counts as "dequeued at ∞");
+//! 4. an empty-dequeue whose entire window is covered by values that are
+//!    necessarily inside the queue.
+//!
+//! When no pattern fires the monitor *constructs* a linearization — a FIFO
+//! order of the values from a two-gate topological merge of the enqueue and
+//! dequeue interval orders, interleaved by earliest effective deadline — and
+//! validates it (`util::respects_precedence`). Only a validated witness
+//! yields `Member`; if the greedy construction fails the monitor returns
+//! `Fallback(Undecided)` rather than guessing.
+//!
+//! Pending operations are handled natively so the monitor stays useful on
+//! streaming prefixes: a pending dequeue is a wildcard (it may consume any
+//! value), so patterns that rely on a value being *never* dequeued are
+//! disabled while one exists; a pending enqueue whose value is dequeued is
+//! used as a matched enqueue with response time ∞; all other pending
+//! operations are dropped, which the membership semantics permits.
+
+use super::util::{respects_precedence, IntervalUnion, Span, INF};
+use super::{FallbackReason, SpecializedResult};
+use linrv_history::{History, OpValue};
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// A value with its forced enqueue/dequeue pair (dequeue span `rs` is always
+/// finite; the enqueue may be pending, `rs == INF`).
+#[derive(Clone, Copy)]
+struct Pair {
+    enq: Span,
+    deq: Span,
+    value: i64,
+}
+
+pub(super) fn check(history: &History) -> SpecializedResult {
+    let mut enqs: HashMap<i64, (Span, u32)> = HashMap::new();
+    let mut deqs: HashMap<i64, (Span, u32)> = HashMap::new();
+    let mut empties: Vec<Span> = Vec::new();
+    // Minimum invocation index over pending dequeues; INF when none exist.
+    let mut wildcard_iv = INF;
+
+    for record in history.operations() {
+        let span = Span::new(record.invocation_index, record.response_index);
+        match record.operation.kind.as_str() {
+            "Enqueue" => {
+                if record.operation.arg.as_int().is_none() {
+                    return SpecializedResult::Fallback(FallbackReason::Unsupported);
+                }
+                let value = record.operation.arg.as_int().expect("checked above");
+                match &record.response {
+                    None | Some(OpValue::Bool(true)) => {}
+                    Some(other) => {
+                        return SpecializedResult::NotMember(format!(
+                            "Enqueue({value}) acknowledged with {other} instead of true"
+                        ));
+                    }
+                }
+                match enqs.entry(value) {
+                    Entry::Vacant(slot) => {
+                        slot.insert((span, 1));
+                    }
+                    Entry::Occupied(mut slot) => slot.get_mut().1 += 1,
+                }
+            }
+            "Dequeue" => match &record.response {
+                None => wildcard_iv = wildcard_iv.min(span.iv),
+                Some(OpValue::Int(value)) => match deqs.entry(*value) {
+                    Entry::Vacant(slot) => {
+                        slot.insert((span, 1));
+                    }
+                    Entry::Occupied(mut slot) => slot.get_mut().1 += 1,
+                },
+                Some(OpValue::Empty) => empties.push(span),
+                Some(other) => {
+                    return SpecializedResult::NotMember(format!(
+                        "Dequeue returned {other}, expected an integer or empty"
+                    ));
+                }
+            },
+            other => {
+                if record.response.is_some() {
+                    return SpecializedResult::NotMember(format!(
+                        "{other} is not a queue operation"
+                    ));
+                }
+                // A pending unknown invocation may be dropped.
+            }
+        }
+    }
+
+    // Ambiguity gate: a value enqueued twice breaks the forced matching.
+    if enqs.values().any(|(_, count)| *count > 1) {
+        return SpecializedResult::Fallback(FallbackReason::Ambiguous);
+    }
+
+    let mut matched: Vec<Pair> = Vec::with_capacity(deqs.len());
+    for (&value, &(deq, count)) in &deqs {
+        if count > 1 {
+            // At most one enqueue of `value` exists, and an extension can only
+            // add responses, never new enqueues.
+            return SpecializedResult::NotMember(format!("value {value} dequeued {count} times"));
+        }
+        let Some(&(enq, _)) = enqs.get(&value) else {
+            return SpecializedResult::NotMember(format!(
+                "value {value} dequeued but never enqueued"
+            ));
+        };
+        if deq.precedes(&enq) {
+            return SpecializedResult::NotMember(format!(
+                "value {value} dequeued before its enqueue was invoked"
+            ));
+        }
+        matched.push(Pair { enq, deq, value });
+    }
+    // Values enqueued (completely) but never dequeued. Pending unmatched
+    // enqueues are dropped: the completion is free not to take them.
+    let mut unmatched: Vec<(Span, i64)> = enqs
+        .iter()
+        .filter(|(value, (span, _))| span.rs != INF && !deqs.contains_key(value))
+        .map(|(&value, &(span, _))| (span, value))
+        .collect();
+
+    if let Some(explanation) = fifo_inversion(&matched, &unmatched, wildcard_iv) {
+        return SpecializedResult::NotMember(explanation);
+    }
+    if let Some(explanation) = covered_empty_dequeue(&matched, &unmatched, &empties, wildcard_iv) {
+        return SpecializedResult::NotMember(explanation);
+    }
+
+    // Constructive phase: FIFO value order, then a gap-anchored merge.
+    let Some(order) = fifo_value_order(&matched) else {
+        return SpecializedResult::Fallback(FallbackReason::Undecided);
+    };
+    unmatched.sort_unstable_by_key(|(span, _)| span.iv);
+    let sequence = merge_schedule(&matched, &order, &unmatched, &empties);
+    if respects_precedence(sequence) {
+        SpecializedResult::Member
+    } else {
+        SpecializedResult::Fallback(FallbackReason::Undecided)
+    }
+}
+
+/// Bad pattern 3: `v` enqueued before `w` (forced) yet dequeued after `w`
+/// (forced). A `v` that is never dequeued counts with dequeue invocation ∞ —
+/// but only when no pending dequeue could still consume it.
+fn fifo_inversion(matched: &[Pair], unmatched: &[(Span, i64)], wildcard_iv: u32) -> Option<String> {
+    // Role v: contributes (rs of enqueue, iv of dequeue).
+    let mut first: Vec<(u32, u32, i64)> = matched
+        .iter()
+        .filter(|p| p.enq.rs != INF)
+        .map(|p| (p.enq.rs, p.deq.iv, p.value))
+        .collect();
+    if wildcard_iv == INF {
+        first.extend(unmatched.iter().map(|&(span, value)| (span.rs, INF, value)));
+    }
+    first.sort_unstable();
+    // Role w: consumes (iv of enqueue, rs of dequeue).
+    let mut second: Vec<(u32, u32, i64)> = matched
+        .iter()
+        .map(|p| (p.enq.iv, p.deq.rs, p.value))
+        .collect();
+    second.sort_unstable();
+
+    let mut cursor = 0;
+    // Running maximum of dequeue invocations among values whose enqueue is
+    // forced before the current `w`'s enqueue.
+    let mut latest_deq = 0u32;
+    let mut latest_value = 0i64;
+    for &(enq_iv, deq_rs, w) in &second {
+        while cursor < first.len() && first[cursor].0 < enq_iv {
+            if first[cursor].1 > latest_deq {
+                latest_deq = first[cursor].1;
+                latest_value = first[cursor].2;
+            }
+            cursor += 1;
+        }
+        if latest_deq > deq_rs {
+            let tail = if latest_deq == INF {
+                "never dequeued".to_string()
+            } else {
+                format!("dequeued after {w}")
+            };
+            return Some(format!(
+                "FIFO inversion: {latest_value} enqueued before {w} but {tail}"
+            ));
+        }
+    }
+    None
+}
+
+/// Bad pattern 4: an empty-dequeue whose whole window is covered by values
+/// necessarily inside the queue.
+fn covered_empty_dequeue(
+    matched: &[Pair],
+    unmatched: &[(Span, i64)],
+    empties: &[Span],
+    wildcard_iv: u32,
+) -> Option<String> {
+    if empties.is_empty() {
+        return None;
+    }
+    // `v` necessarily occupies the gaps [rs(enq), iv(deq) - 1] (gap `g` is
+    // the space between event indices g and g+1). An unmatched value occupies
+    // [rs(enq), ∞) unless a pending dequeue could consume it, in which case
+    // occupancy is only forced up to that dequeue's invocation.
+    let mut occupied: Vec<(u32, u32)> = matched
+        .iter()
+        .filter(|p| p.enq.rs != INF && p.deq.iv > 0)
+        .map(|p| (p.enq.rs, p.deq.iv - 1))
+        .collect();
+    occupied.extend(
+        unmatched
+            .iter()
+            .filter(|(_, _)| wildcard_iv > 0)
+            .map(|&(span, _)| (span.rs, wildcard_iv.saturating_sub(1))),
+    );
+    let union = IntervalUnion::new(occupied);
+    for span in empties {
+        if union.covers(span.iv, span.rs - 1) {
+            return Some(
+                "a dequeue observed an empty queue inside a window where the queue \
+                 is necessarily non-empty"
+                    .to_string(),
+            );
+        }
+    }
+    None
+}
+
+/// Two-gate Kahn topological sort producing a FIFO value order that extends
+/// both the enqueue and the dequeue real-time interval orders.
+///
+/// A value is emitted once it is minimal in *both* orders among the values
+/// not yet emitted: its enqueue invocation precedes every remaining enqueue
+/// response, and likewise for dequeues. Both minima only grow as values are
+/// emitted, so eligibility is monotone and the whole sort is O(n log n).
+/// Returns `None` if the two orders have no common extension the greedy can
+/// find (callers fall back to the general search).
+fn fifo_value_order(matched: &[Pair]) -> Option<Vec<usize>> {
+    let n = matched.len();
+    let mut by_enq_iv: Vec<usize> = (0..n).collect();
+    by_enq_iv.sort_unstable_by_key(|&i| matched[i].enq.iv);
+    let mut by_deq_iv: Vec<usize> = (0..n).collect();
+    by_deq_iv.sort_unstable_by_key(|&i| matched[i].deq.iv);
+    let mut enq_rs: BinaryHeap<std::cmp::Reverse<(u32, usize)>> = (0..n)
+        .map(|i| std::cmp::Reverse((matched[i].enq.rs, i)))
+        .collect();
+    let mut deq_rs: BinaryHeap<std::cmp::Reverse<(u32, usize)>> = (0..n)
+        .map(|i| std::cmp::Reverse((matched[i].deq.rs, i)))
+        .collect();
+    let mut gates = vec![0u8; n];
+    let mut emitted = vec![false; n];
+    let mut ready: VecDeque<usize> = VecDeque::new();
+    let (mut epos, mut dpos) = (0usize, 0usize);
+    let mut order = Vec::with_capacity(n);
+
+    while order.len() < n {
+        loop {
+            while enq_rs
+                .peek()
+                .is_some_and(|std::cmp::Reverse((_, i))| emitted[*i])
+            {
+                enq_rs.pop();
+            }
+            while deq_rs
+                .peek()
+                .is_some_and(|std::cmp::Reverse((_, i))| emitted[*i])
+            {
+                deq_rs.pop();
+            }
+            let min_enq_rs = enq_rs.peek().map_or(INF, |std::cmp::Reverse((rs, _))| *rs);
+            let min_deq_rs = deq_rs.peek().map_or(INF, |std::cmp::Reverse((rs, _))| *rs);
+            let mut advanced = false;
+            while epos < n && matched[by_enq_iv[epos]].enq.iv < min_enq_rs {
+                let i = by_enq_iv[epos];
+                epos += 1;
+                advanced = true;
+                if !emitted[i] {
+                    gates[i] |= 1;
+                    if gates[i] == 3 {
+                        ready.push_back(i);
+                    }
+                }
+            }
+            while dpos < n && matched[by_deq_iv[dpos]].deq.iv < min_deq_rs {
+                let i = by_deq_iv[dpos];
+                dpos += 1;
+                advanced = true;
+                if !emitted[i] {
+                    gates[i] |= 2;
+                    if gates[i] == 3 {
+                        ready.push_back(i);
+                    }
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        let i = ready.pop_front()?;
+        emitted[i] = true;
+        order.push(i);
+    }
+    Some(order)
+}
+
+/// Merges the enqueue chain (matched values in FIFO order, then unmatched
+/// ones), the dequeue chain and the empty-dequeues into one sequence.
+///
+/// Empty-dequeues are anchored first: the simulated queue is empty exactly at
+/// the *gaps* of the pair sequence (after the first `g` values have been both
+/// enqueued and dequeued, before value `g + 1` is enqueued), and an
+/// empty-dequeue must precede the first pair whose enqueue or dequeue is
+/// invoked after the empty's response. Each empty is therefore assigned that
+/// latest feasible gap up front, and the enqueue cursor is barred from
+/// crossing a gap that still holds empties — a plain cross-class deadline
+/// race would happily start the next enqueue and lock the empty out until
+/// the matching dequeue, which may already be invoked too late. Between
+/// barriers the two chains interleave by earliest *effective* deadline (each
+/// chain position inherits the tightest deadline among its successors,
+/// Lawler-style). The sequence replays correctly by construction; only
+/// real-time precedence remains to be validated by the caller.
+fn merge_schedule(
+    matched: &[Pair],
+    order: &[usize],
+    unmatched: &[(Span, i64)],
+    empties: &[Span],
+) -> Vec<Span> {
+    let pairs = order.len();
+    let enq_total = pairs + unmatched.len();
+    let enq_span = |pos: usize| -> Span {
+        if pos < pairs {
+            matched[order[pos]].enq
+        } else {
+            unmatched[pos - pairs].0
+        }
+    };
+
+    let mut deq_deadline = vec![INF; pairs.max(1)];
+    for j in (0..pairs).rev() {
+        let next = if j + 1 < pairs {
+            deq_deadline[j + 1]
+        } else {
+            INF
+        };
+        deq_deadline[j] = matched[order[j]].deq.rs.min(next);
+    }
+    let mut enq_deadline = vec![INF; enq_total.max(1)];
+    for j in (0..enq_total).rev() {
+        let next = if j + 1 < enq_total {
+            enq_deadline[j + 1]
+        } else {
+            INF
+        };
+        let mut deadline = enq_span(j).rs.min(next);
+        if j < pairs {
+            deadline = deadline.min(deq_deadline[j]);
+        }
+        enq_deadline[j] = deadline;
+    }
+
+    // Gap assignment. An empty at gap `g` is feasible iff every pair before
+    // the gap is invoked before the empty responds (`pm[g] <= rs`, upper
+    // bound K) and every pair from the gap on — and every unmatched enqueue
+    // — responds after the empty is invoked (`sm[g] >= iv`, lower bound L).
+    // Occupying a gap also serializes the chains around it (the barrier
+    // below), which is only realizable when `sm[g] >= pm[g]`. Within [L, K]
+    // the *earliest* serializable gap is chosen: a witness linearization
+    // places the empty at some serializable gap in [L, K], and the earliest
+    // one is never later than the witness's, so it inherits feasibility.
+    // Both bound arrays are monotone, so each empty costs two binary
+    // searches. Sorting by (gap, response) keeps consecutive empties
+    // mutually realizable: an empty never precedes one that responds before
+    // its own invocation.
+    let mut pm = vec![0u32; pairs + 1];
+    for g in 1..=pairs {
+        let pair = matched[order[g - 1]];
+        pm[g] = pm[g - 1].max(pair.enq.iv).max(pair.deq.iv);
+    }
+    let mut sm = vec![INF; pairs + 1];
+    sm[pairs] = unmatched.iter().map(|&(s, _)| s.rs).min().unwrap_or(INF);
+    for g in (0..pairs).rev() {
+        let pair = matched[order[g]];
+        sm[g] = sm[g + 1].min(pair.enq.rs).min(pair.deq.rs);
+    }
+    let mut next_serializable = vec![usize::MAX; pairs + 2];
+    for g in (0..=pairs).rev() {
+        next_serializable[g] = if sm[g] >= pm[g] {
+            g
+        } else {
+            next_serializable[g + 1]
+        };
+    }
+    let mut empties: Vec<(usize, Span)> = empties
+        .iter()
+        .map(|&span| {
+            let l = sm.partition_point(|&rs| rs < span.iv);
+            // `pm[0] == 0 <= span.rs`, so the partition point is >= 1.
+            let k = pm.partition_point(|&iv| iv <= span.rs) - 1;
+            // When no serializable gap fits in [L, K] the empty is emitted at
+            // K anyway; the caller's validation rejects the sequence and the
+            // monitor falls back instead of guessing.
+            (next_serializable[l].min(k), span)
+        })
+        .collect();
+    empties.sort_unstable_by_key(|&(gap, span)| (gap, span.rs));
+
+    let mut sequence = Vec::with_capacity(enq_total + pairs + empties.len());
+    let (mut e, mut d, mut x) = (0usize, 0usize, 0usize);
+    while e < enq_total || d < pairs || x < empties.len() {
+        let next_gap = empties.get(x).map_or(usize::MAX, |&(gap, _)| gap);
+        if e == d && e == next_gap {
+            sequence.push(empties[x].1);
+            x += 1;
+            continue;
+        }
+        let deq_ok = d < pairs && d < e;
+        // The barrier: `e` stops at the next occupied gap (this also holds
+        // unmatched enqueues, whose chain positions are `>= pairs`, behind
+        // every remaining empty).
+        let enq_ok = e < enq_total && e < next_gap;
+        if deq_ok && (!enq_ok || deq_deadline[d] <= enq_deadline[e]) {
+            sequence.push(matched[order[d]].deq);
+            d += 1;
+        } else {
+            // Progress is guaranteed: while empties remain, `e <= next_gap
+            // <= pairs`, so the only stuck shape would be `e == d ==
+            // next_gap` — the empty branch above.
+            debug_assert!(enq_ok);
+            sequence.push(enq_span(e));
+            e += 1;
+        }
+    }
+    sequence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{check_specialized, FallbackReason, SpecializedResult};
+    use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+    use linrv_spec::ops::queue as ops;
+    use linrv_spec::ObjectKind;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn run(b: HistoryBuilder) -> SpecializedResult {
+        check_specialized(ObjectKind::Queue, &b.build())
+    }
+
+    #[test]
+    fn sequential_fifo_history_is_member() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::enqueue(1), OpValue::Bool(true));
+        b.complete(p(0), ops::enqueue(2), OpValue::Bool(true));
+        b.complete(p(0), ops::dequeue(), OpValue::Int(1));
+        b.complete(p(0), ops::dequeue(), OpValue::Int(2));
+        b.complete(p(0), ops::dequeue(), OpValue::Empty);
+        assert_eq!(run(b), SpecializedResult::Member);
+    }
+
+    #[test]
+    fn overlapping_enqueue_and_dequeue_are_member() {
+        // Figure 5 (bottom): enq(1) and deq():1 overlap.
+        let mut b = HistoryBuilder::new();
+        let enq = b.invoke(p(0), ops::enqueue(1));
+        let deq = b.invoke(p(1), ops::dequeue());
+        b.respond(deq, OpValue::Int(1));
+        b.respond(enq, OpValue::Bool(true));
+        assert_eq!(run(b), SpecializedResult::Member);
+    }
+
+    #[test]
+    fn pending_enqueue_explains_a_completed_dequeue() {
+        let mut b = HistoryBuilder::new();
+        let _enq = b.invoke(p(0), ops::enqueue(7));
+        let deq = b.invoke(p(1), ops::dequeue());
+        b.respond(deq, OpValue::Int(7));
+        assert_eq!(run(b), SpecializedResult::Member);
+    }
+
+    #[test]
+    fn dequeue_of_never_enqueued_value_is_a_violation() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::dequeue(), OpValue::Int(41));
+        let SpecializedResult::NotMember(explanation) = run(b) else {
+            panic!("expected a violation");
+        };
+        assert!(explanation.contains("never enqueued"));
+    }
+
+    #[test]
+    fn double_dequeue_is_a_violation() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::enqueue(5), OpValue::Bool(true));
+        b.complete(p(0), ops::dequeue(), OpValue::Int(5));
+        b.complete(p(1), ops::dequeue(), OpValue::Int(5));
+        assert!(matches!(run(b), SpecializedResult::NotMember(_)));
+    }
+
+    #[test]
+    fn forced_fifo_inversion_is_a_violation() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::enqueue(1), OpValue::Bool(true));
+        b.complete(p(0), ops::enqueue(2), OpValue::Bool(true));
+        b.complete(p(0), ops::dequeue(), OpValue::Int(2));
+        b.complete(p(0), ops::dequeue(), OpValue::Int(1));
+        let SpecializedResult::NotMember(explanation) = run(b) else {
+            panic!("expected a violation");
+        };
+        assert!(explanation.contains("FIFO inversion"), "{explanation}");
+    }
+
+    #[test]
+    fn never_dequeued_value_blocking_a_later_one_is_a_violation() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::enqueue(1), OpValue::Bool(true));
+        b.complete(p(0), ops::enqueue(2), OpValue::Bool(true));
+        b.complete(p(0), ops::dequeue(), OpValue::Int(2));
+        assert!(matches!(run(b), SpecializedResult::NotMember(_)));
+    }
+
+    #[test]
+    fn a_pending_dequeue_excuses_the_blocked_value() {
+        // Same as above, but a pending Dequeue may still consume value 1.
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::enqueue(1), OpValue::Bool(true));
+        b.complete(p(0), ops::enqueue(2), OpValue::Bool(true));
+        let _pending = b.invoke(p(1), ops::dequeue());
+        b.complete(p(0), ops::dequeue(), OpValue::Int(2));
+        let result = run(b);
+        assert!(
+            !matches!(result, SpecializedResult::NotMember(_)),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn empty_dequeue_in_a_covered_window_is_a_violation() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::enqueue(1), OpValue::Bool(true));
+        b.complete(p(0), ops::dequeue(), OpValue::Empty);
+        b.complete(p(0), ops::dequeue(), OpValue::Int(1));
+        let SpecializedResult::NotMember(explanation) = run(b) else {
+            panic!("expected a violation");
+        };
+        assert!(explanation.contains("empty"), "{explanation}");
+    }
+
+    #[test]
+    fn concurrent_empty_dequeue_is_member() {
+        // The empty dequeue overlaps the enqueue: it may linearize first.
+        let mut b = HistoryBuilder::new();
+        let enq = b.invoke(p(0), ops::enqueue(1));
+        let deq = b.invoke(p(1), ops::dequeue());
+        b.respond(deq, OpValue::Empty);
+        b.respond(enq, OpValue::Bool(true));
+        b.complete(p(0), ops::dequeue(), OpValue::Int(1));
+        assert_eq!(run(b), SpecializedResult::Member);
+    }
+
+    #[test]
+    fn duplicate_enqueues_force_fallback() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::enqueue(3), OpValue::Bool(true));
+        b.complete(p(0), ops::enqueue(3), OpValue::Bool(true));
+        b.complete(p(0), ops::dequeue(), OpValue::Int(3));
+        assert_eq!(
+            run(b),
+            SpecializedResult::Fallback(FallbackReason::Ambiguous)
+        );
+    }
+
+    #[test]
+    fn wrong_response_shapes_are_violations() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::enqueue(1), OpValue::Bool(false));
+        assert!(matches!(run(b), SpecializedResult::NotMember(_)));
+
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::dequeue(), OpValue::Bool(true));
+        assert!(matches!(run(b), SpecializedResult::NotMember(_)));
+
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), linrv_spec::ops::stack::pop(), OpValue::Empty);
+        assert!(matches!(run(b), SpecializedResult::NotMember(_)));
+    }
+
+    #[test]
+    fn empty_history_is_member() {
+        assert_eq!(run(HistoryBuilder::new()), SpecializedResult::Member);
+    }
+}

@@ -1,0 +1,489 @@
+//! Specialized LIFO-stack monitor for unambiguous, complete histories.
+//!
+//! In a linearization of a stack history, value lifetimes (push point to pop
+//! point) must form a *laminar* family: any two are nested or disjoint. The
+//! sound bad patterns are forced crossings — `v`'s lifetime forced to start
+//! before `w`'s and end inside it — plus the matching errors and the covered
+//! empty-pop shared with the queue monitor. The constructive phase simulates
+//! a stack, pushing and popping by earliest deadline, and validates the
+//! emitted order; an unvalidated construction falls back to the general
+//! search. Pending operations are not handled here (fallback).
+
+use super::util::{compress, respects_precedence, IntervalUnion, PrefixMax, Span, INF};
+use super::{FallbackReason, SpecializedResult};
+use linrv_history::{History, OpValue};
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Clone, Copy)]
+struct Pair {
+    push: Span,
+    pop: Span,
+}
+
+pub(super) fn check(history: &History) -> SpecializedResult {
+    if history.pending_operations().next().is_some() {
+        return SpecializedResult::Fallback(FallbackReason::Pending);
+    }
+    let mut pushes: HashMap<i64, (Span, u32)> = HashMap::new();
+    let mut pops: HashMap<i64, (Span, u32)> = HashMap::new();
+    let mut empties: Vec<Span> = Vec::new();
+
+    for record in history.operations() {
+        let span = Span::new(record.invocation_index, record.response_index);
+        match record.operation.kind.as_str() {
+            "Push" => {
+                let Some(value) = record.operation.arg.as_int() else {
+                    return SpecializedResult::Fallback(FallbackReason::Unsupported);
+                };
+                match &record.response {
+                    Some(OpValue::Bool(true)) => {}
+                    Some(other) => {
+                        return SpecializedResult::NotMember(format!(
+                            "Push({value}) acknowledged with {other} instead of true"
+                        ));
+                    }
+                    None => unreachable!("pending operations force a fallback above"),
+                }
+                match pushes.entry(value) {
+                    Entry::Vacant(slot) => {
+                        slot.insert((span, 1));
+                    }
+                    Entry::Occupied(mut slot) => slot.get_mut().1 += 1,
+                }
+            }
+            "Pop" => match &record.response {
+                Some(OpValue::Int(value)) => match pops.entry(*value) {
+                    Entry::Vacant(slot) => {
+                        slot.insert((span, 1));
+                    }
+                    Entry::Occupied(mut slot) => slot.get_mut().1 += 1,
+                },
+                Some(OpValue::Empty) => empties.push(span),
+                Some(other) => {
+                    return SpecializedResult::NotMember(format!(
+                        "Pop returned {other}, expected an integer or empty"
+                    ));
+                }
+                None => unreachable!("pending operations force a fallback above"),
+            },
+            other => {
+                return SpecializedResult::NotMember(format!("{other} is not a stack operation"));
+            }
+        }
+    }
+
+    if pushes.values().any(|(_, count)| *count > 1) {
+        return SpecializedResult::Fallback(FallbackReason::Ambiguous);
+    }
+
+    let mut matched: Vec<Pair> = Vec::with_capacity(pops.len());
+    for (&value, &(pop, count)) in &pops {
+        if count > 1 {
+            return SpecializedResult::NotMember(format!("value {value} popped {count} times"));
+        }
+        let Some(&(push, _)) = pushes.get(&value) else {
+            return SpecializedResult::NotMember(format!("value {value} popped but never pushed"));
+        };
+        if pop.precedes(&push) {
+            return SpecializedResult::NotMember(format!(
+                "value {value} popped before its push was invoked"
+            ));
+        }
+        matched.push(Pair { push, pop });
+    }
+    let unmatched: Vec<Span> = pushes
+        .iter()
+        .filter(|(value, _)| !pops.contains_key(value))
+        .map(|(_, &(span, _))| span)
+        .collect();
+
+    if let Some(explanation) = forced_crossing(&matched, &unmatched) {
+        return SpecializedResult::NotMember(explanation);
+    }
+    if let Some(explanation) = covered_empty_pop(&matched, &unmatched, &empties) {
+        return SpecializedResult::NotMember(explanation);
+    }
+
+    if simulate(&matched, &unmatched, &empties) {
+        SpecializedResult::Member
+    } else {
+        SpecializedResult::Fallback(FallbackReason::Undecided)
+    }
+}
+
+/// Forced lifetime crossings.
+///
+/// Matched `v`, `w`: `v`'s lifetime is forced to start before `w`'s
+/// (`rs(push v) < iv(push w)`), end before `w`'s (`rs(pop v) < iv(pop w)`),
+/// yet overlap it (`rs(push w) < iv(pop v)`) — nested-or-disjoint is
+/// impossible. With `v` unmatched (lifetime unbounded): `w` forced to start
+/// before `v` and `v` forced to start before `w` ends.
+fn forced_crossing(matched: &[Pair], unmatched: &[Span]) -> Option<String> {
+    // Matched/matched: sweep w by push invocation; v's enter once their push
+    // response is passed; Fenwick prefix-max over rs(pop v) answers
+    // "among entered v with rs(pop v) < iv(pop w), the latest iv(pop v)".
+    let pop_rs = compress(matched.iter().map(|p| p.pop.rs).collect());
+    let mut tree = PrefixMax::new(pop_rs.len());
+    let mut by_push_rs: Vec<&Pair> = matched.iter().collect();
+    by_push_rs.sort_unstable_by_key(|p| p.push.rs);
+    let mut by_push_iv: Vec<&Pair> = matched.iter().collect();
+    by_push_iv.sort_unstable_by_key(|p| p.push.iv);
+    let mut cursor = 0;
+    for w in &by_push_iv {
+        while cursor < by_push_rs.len() && by_push_rs[cursor].push.rs < w.push.iv {
+            let v = by_push_rs[cursor];
+            let rank = pop_rs.binary_search(&v.pop.rs).expect("compressed");
+            tree.update(rank, v.pop.iv);
+            cursor += 1;
+        }
+        // Entered v with rs(pop v) < iv(pop w):
+        let prefix = pop_rs.partition_point(|&rs| rs < w.pop.iv);
+        if prefix > 0 && tree.query(prefix - 1) > w.push.rs {
+            return Some(
+                "LIFO crossing: two values' lifetimes are forced to cross \
+                 (neither nested nor disjoint)"
+                    .to_string(),
+            );
+        }
+    }
+
+    // Unmatched v / matched w: running max of iv(pop w) over w's whose push
+    // completed before v's push invocation.
+    let mut v_by_push_iv: Vec<&Span> = unmatched.iter().collect();
+    v_by_push_iv.sort_unstable_by_key(|span| span.iv);
+    let mut w_by_push_rs: Vec<&Pair> = matched.iter().collect();
+    w_by_push_rs.sort_unstable_by_key(|p| p.push.rs);
+    let mut cursor = 0;
+    let mut latest_pop_iv = 0u32;
+    for v in &v_by_push_iv {
+        while cursor < w_by_push_rs.len() && w_by_push_rs[cursor].push.rs < v.iv {
+            latest_pop_iv = latest_pop_iv.max(w_by_push_rs[cursor].pop.iv);
+            cursor += 1;
+        }
+        if latest_pop_iv > v.rs {
+            return Some(
+                "LIFO crossing: a never-popped value is forced to be pushed \
+                 inside another value's lifetime and outlive it"
+                    .to_string(),
+            );
+        }
+    }
+    None
+}
+
+/// An empty-pop whose whole window is covered by values necessarily on the
+/// stack (same gap semantics as the queue's covered empty-dequeue).
+fn covered_empty_pop(matched: &[Pair], unmatched: &[Span], empties: &[Span]) -> Option<String> {
+    if empties.is_empty() {
+        return None;
+    }
+    let mut occupied: Vec<(u32, u32)> = matched
+        .iter()
+        .filter(|p| p.pop.iv > 0)
+        .map(|p| (p.push.rs, p.pop.iv - 1))
+        .collect();
+    occupied.extend(unmatched.iter().map(|span| (span.rs, INF)));
+    let union = IntervalUnion::new(occupied);
+    for span in empties {
+        if union.covers(span.iv, span.rs - 1) {
+            return Some(
+                "a pop observed an empty stack inside a window where the stack \
+                 is necessarily non-empty"
+                    .to_string(),
+            );
+        }
+    }
+    None
+}
+
+/// Constructive phase: simulate a stack, acting by earliest deadline.
+///
+/// At each step the most urgent *kind* of action wins: popping down to the
+/// on-stack value whose pop response is nearest, pushing (forced when the
+/// nearest push response among unpushed values approaches), or serving an
+/// empty-pop (which requires draining the stack). When a push is forced, the
+/// value actually pushed is chosen LIFO-aware: among the values whose push
+/// invocation precedes the forcing deadline (so pushing them now cannot be
+/// premature), the one popped *last* goes down first — never-popped values
+/// count as popped at ∞ and sink to the bottom. Matched values are never left
+/// below an unmatched one (they could never be popped), so pushing an
+/// unmatched value first drains the matched ones above.
+///
+/// The emitted order replays correctly by construction; it is a linearization
+/// iff it also respects real-time precedence, which the caller checks.
+/// Returns `false` when the greedy gets stuck or validation fails.
+fn simulate(matched: &[Pair], unmatched: &[Span], empties: &[Span]) -> bool {
+    #[derive(Clone, Copy)]
+    enum Slot {
+        Matched(usize),
+        Unmatched,
+    }
+
+    // Unpushed values, unified id space: matched `i` = `i`, unmatched `i` =
+    // `matched.len() + i`.
+    let push_span = |id: usize| -> Span {
+        if id < matched.len() {
+            matched[id].push
+        } else {
+            unmatched[id - matched.len()]
+        }
+    };
+    let pop_deadline_key = |id: usize| -> u32 {
+        if id < matched.len() {
+            matched[id].pop.rs
+        } else {
+            INF
+        }
+    };
+    let total_values = matched.len() + unmatched.len();
+    let mut pushed = vec![false; total_values];
+    // Forcing deadline: min push response over unpushed values (lazy heap).
+    let mut push_rs: BinaryHeap<Reverse<(u32, usize)>> = (0..total_values)
+        .map(|id| Reverse((push_span(id).rs, id)))
+        .collect();
+    // Values unlocked for pushing (push invocation before the current forcing
+    // deadline), max-heap by pop deadline: the longest-lived goes down first.
+    let mut by_push_iv: Vec<usize> = (0..total_values).collect();
+    by_push_iv.sort_unstable_by_key(|&id| push_span(id).iv);
+    let mut unlock_cursor = 0;
+    let mut unlocked: BinaryHeap<(u32, usize)> = BinaryHeap::new();
+
+    let mut empties: Vec<Span> = empties.to_vec();
+    empties.sort_unstable_by_key(|span| span.rs);
+    let mut next_empty = 0;
+
+    let mut stack: Vec<Slot> = Vec::new();
+    // Pop deadlines of matched values currently on the stack (lazy deletion).
+    let mut on_stack_pops: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+    let mut on_stack = vec![false; matched.len()];
+    let mut sequence: Vec<Span> =
+        Vec::with_capacity(2 * matched.len() + unmatched.len() + empties.len());
+
+    // Pops the top of the stack down to and including matched value `target`;
+    // `None` pops every matched value on top. Returns false on an unmatched
+    // blocker (only reachable defensively: unmatched values stay below).
+    let pop_down = |stack: &mut Vec<Slot>,
+                    on_stack: &mut Vec<bool>,
+                    sequence: &mut Vec<Span>,
+                    target: Option<usize>|
+     -> bool {
+        while let Some(&slot) = stack.last() {
+            match slot {
+                Slot::Unmatched => return target.is_none(),
+                Slot::Matched(j) => {
+                    stack.pop();
+                    on_stack[j] = false;
+                    sequence.push(matched[j].pop);
+                    if target == Some(j) {
+                        return true;
+                    }
+                }
+            }
+        }
+        target.is_none()
+    };
+
+    loop {
+        while on_stack_pops
+            .peek()
+            .is_some_and(|Reverse((_, j))| !on_stack[*j])
+        {
+            on_stack_pops.pop();
+        }
+        while push_rs.peek().is_some_and(|Reverse((_, id))| pushed[*id]) {
+            push_rs.pop();
+        }
+        let forcing = push_rs.peek().map(|&Reverse((rs, _))| rs);
+        if let Some(forcing) = forcing {
+            while unlock_cursor < total_values && push_span(by_push_iv[unlock_cursor]).iv < forcing
+            {
+                let id = by_push_iv[unlock_cursor];
+                unlock_cursor += 1;
+                if !pushed[id] {
+                    unlocked.push((pop_deadline_key(id), id));
+                }
+            }
+        }
+        // (deadline, class): pop < push < empty-pop on ties.
+        let mut best: Option<(u32, u8)> = None;
+        if let Some(&Reverse((rs, _))) = on_stack_pops.peek() {
+            best = Some((rs, 0));
+        }
+        if let Some(forcing) = forcing {
+            let candidate = (forcing, 1);
+            if best.map_or(true, |b| candidate < b) {
+                best = Some(candidate);
+            }
+        }
+        if next_empty < empties.len() {
+            let candidate = (empties[next_empty].rs, 2);
+            if best.map_or(true, |b| candidate < b) {
+                best = Some(candidate);
+            }
+        }
+        match best {
+            Some((_, 0)) => {
+                let Reverse((_, j)) = on_stack_pops.pop().expect("peeked above");
+                if !pop_down(&mut stack, &mut on_stack, &mut sequence, Some(j)) {
+                    return false;
+                }
+            }
+            Some((_, 1)) => {
+                let id = loop {
+                    // The deadline holder's own invocation precedes its
+                    // response, so it is unlocked: the heap cannot run dry.
+                    let Some((_, id)) = unlocked.pop() else {
+                        return false;
+                    };
+                    if !pushed[id] {
+                        break id;
+                    }
+                };
+                pushed[id] = true;
+                if id < matched.len() {
+                    stack.push(Slot::Matched(id));
+                    on_stack[id] = true;
+                    on_stack_pops.push(Reverse((matched[id].pop.rs, id)));
+                } else {
+                    // Matched values must not end up below this never-popped
+                    // one: drain them first.
+                    if !pop_down(&mut stack, &mut on_stack, &mut sequence, None) {
+                        return false;
+                    }
+                    stack.push(Slot::Unmatched);
+                }
+                sequence.push(push_span(id));
+            }
+            Some((_, 2)) => {
+                if !pop_down(&mut stack, &mut on_stack, &mut sequence, None) {
+                    return false;
+                }
+                if !stack.is_empty() {
+                    // Unmatched values remain: the stack can never drain.
+                    return false;
+                }
+                sequence.push(empties[next_empty]);
+                next_empty += 1;
+            }
+            _ => break,
+        }
+    }
+    respects_precedence(sequence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{check_specialized, FallbackReason, SpecializedResult};
+    use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+    use linrv_spec::ops::stack as ops;
+    use linrv_spec::ObjectKind;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn run(b: HistoryBuilder) -> SpecializedResult {
+        check_specialized(ObjectKind::Stack, &b.build())
+    }
+
+    #[test]
+    fn sequential_lifo_history_is_member() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::push(1), OpValue::Bool(true));
+        b.complete(p(0), ops::push(2), OpValue::Bool(true));
+        b.complete(p(0), ops::pop(), OpValue::Int(2));
+        b.complete(p(0), ops::pop(), OpValue::Int(1));
+        b.complete(p(0), ops::pop(), OpValue::Empty);
+        assert_eq!(run(b), SpecializedResult::Member);
+    }
+
+    #[test]
+    fn fifo_order_on_a_stack_is_a_violation() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::push(1), OpValue::Bool(true));
+        b.complete(p(0), ops::push(2), OpValue::Bool(true));
+        b.complete(p(0), ops::pop(), OpValue::Int(1));
+        b.complete(p(0), ops::pop(), OpValue::Int(2));
+        let SpecializedResult::NotMember(explanation) = run(b) else {
+            panic!("expected a violation");
+        };
+        assert!(explanation.contains("crossing"), "{explanation}");
+    }
+
+    #[test]
+    fn overlapping_pushes_may_pop_in_either_order() {
+        let mut b = HistoryBuilder::new();
+        let push1 = b.invoke(p(0), ops::push(1));
+        let push2 = b.invoke(p(1), ops::push(2));
+        b.respond(push1, OpValue::Bool(true));
+        b.respond(push2, OpValue::Bool(true));
+        b.complete(p(0), ops::pop(), OpValue::Int(1));
+        b.complete(p(0), ops::pop(), OpValue::Int(2));
+        assert_eq!(run(b), SpecializedResult::Member);
+    }
+
+    #[test]
+    fn pop_of_never_pushed_value_is_a_violation() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::pop(), OpValue::Int(9));
+        assert!(matches!(run(b), SpecializedResult::NotMember(_)));
+    }
+
+    #[test]
+    fn unmatched_value_crossing_is_a_violation() {
+        // push(1) completes; push(2) starts afterwards and completes; pop():1
+        // after push(2): 2 is pushed inside 1's lifetime (after 1, popped
+        // later), but 2 is never popped while 1 is — forced crossing.
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::push(1), OpValue::Bool(true));
+        b.complete(p(0), ops::push(2), OpValue::Bool(true));
+        b.complete(p(0), ops::pop(), OpValue::Int(1));
+        let SpecializedResult::NotMember(explanation) = run(b) else {
+            panic!("expected a violation");
+        };
+        assert!(explanation.contains("never-popped"), "{explanation}");
+    }
+
+    #[test]
+    fn covered_empty_pop_is_a_violation() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::push(1), OpValue::Bool(true));
+        b.complete(p(0), ops::pop(), OpValue::Empty);
+        b.complete(p(0), ops::pop(), OpValue::Int(1));
+        assert!(matches!(run(b), SpecializedResult::NotMember(_)));
+    }
+
+    #[test]
+    fn duplicate_pushes_force_fallback() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::push(3), OpValue::Bool(true));
+        b.complete(p(0), ops::push(3), OpValue::Bool(true));
+        assert_eq!(
+            run(b),
+            SpecializedResult::Fallback(FallbackReason::Ambiguous)
+        );
+    }
+
+    #[test]
+    fn pending_operations_force_fallback() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::push(1), OpValue::Bool(true));
+        let _pending = b.invoke(p(1), ops::pop());
+        assert_eq!(run(b), SpecializedResult::Fallback(FallbackReason::Pending));
+    }
+
+    #[test]
+    fn nested_lifetimes_with_empty_pops_are_member() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::pop(), OpValue::Empty);
+        b.complete(p(0), ops::push(1), OpValue::Bool(true));
+        b.complete(p(0), ops::push(2), OpValue::Bool(true));
+        b.complete(p(0), ops::pop(), OpValue::Int(2));
+        b.complete(p(0), ops::pop(), OpValue::Int(1));
+        b.complete(p(0), ops::pop(), OpValue::Empty);
+        b.complete(p(0), ops::push(3), OpValue::Bool(true));
+        assert_eq!(run(b), SpecializedResult::Member);
+    }
+}

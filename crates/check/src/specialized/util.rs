@@ -1,0 +1,198 @@
+//! Shared machinery for the specialized monitors: event-index intervals,
+//! linearization-order realizability, interval unions and a Fenwick tree for
+//! the O(n log n) bad-pattern sweeps.
+
+/// Sentinel event index for "never happens" (a pending response, an absent
+/// dequeue). Compares greater than every real index, so precedence tests
+/// (`rs < iv`) involving it are never forced.
+pub(crate) const INF: u32 = u32::MAX;
+
+/// The `[invocation, response]` event-index span of one operation.
+///
+/// Event indices are positions in the history's event vector, so they are
+/// unique: two distinct events never share an index. `rs == INF` encodes a
+/// pending operation (the response may be appended arbitrarily late).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Span {
+    pub(crate) iv: u32,
+    pub(crate) rs: u32,
+}
+
+impl Span {
+    pub(crate) fn new(iv: usize, rs: Option<usize>) -> Self {
+        Span {
+            iv: iv as u32,
+            rs: rs.map_or(INF, |r| r as u32),
+        }
+    }
+
+    /// True when `self` finishes before `other` starts: the real-time
+    /// precedence order of Definition 4.2.
+    pub(crate) fn precedes(&self, other: &Span) -> bool {
+        self.rs != INF && self.rs < other.iv
+    }
+}
+
+/// Decides whether a candidate linearization order is realizable by choosing
+/// one linearization point inside every operation's `[iv, rs]` interval.
+///
+/// A total order is realizable iff it extends the real-time precedence order:
+/// then points can be picked greedily (each strictly after the previous point
+/// and after its own invocation, strictly before its own response — always
+/// possible because event indices are distinct, so between any invocation and
+/// a later response there is room on the real line). The order extends
+/// precedence iff no operation responds before an earlier-ordered operation's
+/// invocation, which the running maximum below detects in O(n).
+pub(crate) fn respects_precedence(spans: impl IntoIterator<Item = Span>) -> bool {
+    let mut max_iv = 0u32;
+    for span in spans {
+        // Including the operation's own invocation is harmless: iv <= rs.
+        max_iv = max_iv.max(span.iv);
+        if span.rs < max_iv {
+            return false;
+        }
+    }
+    true
+}
+
+/// A union of closed integer intervals, for "is this whole range necessarily
+/// covered" queries (the empty-dequeue / empty-pop bad pattern).
+///
+/// Intervals are over *gap* coordinates: gap `g` is the space between event
+/// index `g` and `g + 1`, where a linearization point may be placed.
+pub(crate) struct IntervalUnion {
+    /// Disjoint, sorted, merged `[lo, hi]` intervals.
+    merged: Vec<(u32, u32)>,
+}
+
+impl IntervalUnion {
+    /// Builds the union from arbitrary (possibly overlapping) intervals.
+    /// Intervals with `lo > hi` are empty and ignored.
+    pub(crate) fn new(mut intervals: Vec<(u32, u32)>) -> Self {
+        intervals.retain(|(lo, hi)| lo <= hi);
+        intervals.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(intervals.len());
+        for (lo, hi) in intervals {
+            match merged.last_mut() {
+                // `lo <= prev_hi + 1` merges adjacent integer intervals too.
+                Some((_, prev_hi)) if lo <= prev_hi.saturating_add(1) => {
+                    *prev_hi = (*prev_hi).max(hi);
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        IntervalUnion { merged }
+    }
+
+    /// True when every integer in `[lo, hi]` lies in the union.
+    pub(crate) fn covers(&self, lo: u32, hi: u32) -> bool {
+        if lo > hi {
+            // An empty query range is vacuously covered; callers never build
+            // one for a well-formed operation (iv < rs always leaves a gap).
+            return true;
+        }
+        match self.merged.binary_search_by(|&(l, _)| l.cmp(&lo)) {
+            Ok(i) => self.merged[i].1 >= hi,
+            Err(0) => false,
+            Err(i) => self.merged[i - 1].1 >= hi,
+        }
+    }
+}
+
+/// Fenwick tree over compressed coordinates answering *prefix maximum*
+/// queries, used by the crossing-pattern sweeps (stack, priority queue).
+pub(crate) struct PrefixMax {
+    tree: Vec<u32>,
+}
+
+impl PrefixMax {
+    /// A tree over `size` slots, all initialised to 0 (no entry).
+    pub(crate) fn new(size: usize) -> Self {
+        PrefixMax {
+            tree: vec![0; size + 1],
+        }
+    }
+
+    /// Raises slot `index` (0-based) to at least `value`.
+    pub(crate) fn update(&mut self, index: usize, value: u32) {
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].max(value);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Maximum value over slots `0..=index`; 0 when nothing was inserted.
+    pub(crate) fn query(&self, index: usize) -> u32 {
+        let mut best = 0;
+        let mut i = (index + 1).min(self.tree.len() - 1);
+        while i > 0 {
+            best = best.max(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        best
+    }
+}
+
+/// Sorts and deduplicates `values`, returning the compressed coordinate space.
+/// Look up ranks with `binary_search`.
+pub(crate) fn compress(mut values: Vec<u32>) -> Vec<u32> {
+    values.sort_unstable();
+    values.dedup();
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(iv: u32, rs: u32) -> Span {
+        Span { iv, rs }
+    }
+
+    #[test]
+    fn precedence_check_accepts_and_rejects() {
+        // Sequential: 0-1, 2-3, 4-5.
+        assert!(respects_precedence([span(0, 1), span(2, 3), span(4, 5)]));
+        // Overlapping, order by invocation: fine.
+        assert!(respects_precedence([span(0, 3), span(1, 2), span(4, 5)]));
+        // 2-3 ordered after 4-5 but precedes it in real time: not realizable.
+        assert!(!respects_precedence([span(0, 1), span(4, 5), span(2, 3)]));
+        // Pending operations never constrain successors.
+        assert!(respects_precedence([span(0, INF), span(1, 2)]));
+    }
+
+    #[test]
+    fn interval_union_coverage() {
+        let union = IntervalUnion::new(vec![(5, 7), (1, 2), (3, 4), (10, 12)]);
+        // [1,7] merges from the three adjacent pieces.
+        assert!(union.covers(1, 7));
+        assert!(union.covers(2, 6));
+        assert!(!union.covers(0, 2));
+        assert!(!union.covers(6, 10));
+        assert!(!union.covers(8, 8));
+        assert!(union.covers(10, 12));
+        assert!(!union.covers(13, 13));
+        assert!(IntervalUnion::new(vec![]).covers(3, 2));
+        assert!(!IntervalUnion::new(vec![]).covers(0, 0));
+    }
+
+    #[test]
+    fn prefix_max_sweep() {
+        let mut tree = PrefixMax::new(4);
+        assert_eq!(tree.query(3), 0);
+        tree.update(1, 10);
+        tree.update(3, 7);
+        assert_eq!(tree.query(0), 0);
+        assert_eq!(tree.query(1), 10);
+        assert_eq!(tree.query(2), 10);
+        assert_eq!(tree.query(3), 10);
+        tree.update(0, 99);
+        assert_eq!(tree.query(0), 99);
+    }
+
+    #[test]
+    fn compression_is_sorted_and_unique() {
+        assert_eq!(compress(vec![5, 1, 5, 3]), vec![1, 3, 5]);
+    }
+}

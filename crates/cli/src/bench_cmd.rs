@@ -1,0 +1,741 @@
+//! The `bench` subcommand: a fixed, seeded workload suite that records the
+//! repo's perf trajectory as machine-readable `BENCH_*.json` datapoints.
+//!
+//! Three measurement groups cover the hot paths end to end:
+//!
+//! * **checker** — [`StrategyChecker`] batch decisions over deterministic
+//!   recorded executions (per object kind, correct and fault-injected) plus a
+//!   large synthetic unambiguous queue trace that isolates the specialized
+//!   log-linear monitor;
+//! * **drv** — the `A → A*` announce/collect wrapper (`Drv::apply_drv`),
+//!   whose per-operation cost is the paper's `O(n)` snapshot overhead;
+//! * **codec** — trace encode/decode round-trips through both on-disk
+//!   formats.
+//!
+//! Every workload is seeded, so two runs of the same binary measure the same
+//! work. The emitted JSON is schema-versioned (`linrv-bench/1`) and one
+//! datapoint per file: `{schema, host, date, quick, workloads: [{id, ops,
+//! ns_total, ns_per_op, ops_per_sec, rss_max_kb}]}`. `rss_max_kb` is the
+//! process-wide peak resident set (`VmHWM`) sampled after the workload, so it
+//! is monotone across the suite rather than attributable per workload.
+//!
+//! `--compare OLD.json` prints per-workload ns/op deltas against an earlier
+//! datapoint and exits 1 when any ratio exceeds `--threshold` (default 2.0) —
+//! the CI regression gate compares against the committed `BENCH_baseline.json`
+//! with exactly that generous threshold, so only real regressions fail.
+
+use crate::args::Parsed;
+use linrv_check::StrategyChecker;
+use linrv_core::Drv;
+use linrv_history::{History, HistoryBuilder, OpValue, ProcessId};
+use linrv_runtime::{faulty, impls, record_scheduled, RecorderOptions, Workload, WorkloadKind};
+use linrv_spec::{
+    ops, CounterSpec, ObjectKind, PriorityQueueSpec, QueueSpec, RegisterSpec, SetSpec, StackSpec,
+};
+use linrv_trace::{read_history, write_history, TraceFormat, TraceHeader};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Schema identifier stamped into every emitted file.
+const SCHEMA: &str = "linrv-bench/1";
+
+/// One measured workload.
+struct Measurement {
+    id: String,
+    ops: u64,
+    ns_total: u64,
+    rss_max_kb: u64,
+}
+
+impl Measurement {
+    fn ns_per_op(&self) -> f64 {
+        self.ns_total as f64 / self.ops.max(1) as f64
+    }
+
+    fn ops_per_sec(&self) -> f64 {
+        if self.ns_total == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.ns_total as f64
+        }
+    }
+}
+
+pub(crate) fn run(parsed: &Parsed) -> Result<ExitCode, String> {
+    if !parsed.positionals().is_empty() {
+        return Err("bench takes no positional arguments".into());
+    }
+    let quick = parsed.has("quick");
+    let threshold: f64 = parsed.get_or("threshold", 2.0)?;
+    if !threshold.is_finite() || threshold <= 0.0 {
+        return Err("--threshold must be a positive number".into());
+    }
+
+    let measurements = run_suite(quick);
+    let json = render_json(&measurements, quick);
+    let path = match parsed.get("out") {
+        Some(path) => path.to_string(),
+        None => format!("BENCH_{}_{}.json", host(), date()),
+    };
+    std::fs::write(&path, &json).map_err(|err| format!("cannot write {path}: {err}"))?;
+    eprintln!("wrote {path}");
+
+    match parsed.get("compare") {
+        None => Ok(ExitCode::SUCCESS),
+        Some(old_path) => {
+            let old_raw = std::fs::read_to_string(old_path)
+                .map_err(|err| format!("cannot read {old_path}: {err}"))?;
+            let old = parse_datapoint(&old_raw)
+                .map_err(|err| format!("{old_path} is not a {SCHEMA} datapoint: {err}"))?;
+            compare(&measurements, &old, threshold)
+        }
+    }
+}
+
+// --- the suite -----------------------------------------------------------
+
+/// All benched object kinds (those with both an implementation and a fault
+/// injector).
+const KINDS: [ObjectKind; 6] = [
+    ObjectKind::Queue,
+    ObjectKind::Stack,
+    ObjectKind::Set,
+    ObjectKind::PriorityQueue,
+    ObjectKind::Counter,
+    ObjectKind::Register,
+];
+
+fn run_suite(quick: bool) -> Vec<Measurement> {
+    let mut out = Vec::new();
+
+    // Checker group: recorded executions, correct and faulty. Sizes are kept
+    // moderate because fault-injected histories may exercise the general
+    // search on ambiguity fallbacks.
+    // Inner repetitions widen each timed window to several milliseconds;
+    // sub-millisecond windows measure scheduler noise, not the checker.
+    // Recorded stack/set/priority-queue/register executions currently decline
+    // to the general search (the monitors' preconditions are conservative),
+    // whose cost grows steeply — correct sizes stay modest so the suite
+    // keeps measuring, not waiting.
+    let correct_ops: usize = if quick { 100 } else { 200 };
+    let faulty_ops: usize = if quick { 40 } else { 120 };
+    for kind in KINDS {
+        for faulty_every in [None, Some(5u64)] {
+            // Faulty histories are shorter (the violation cuts the check
+            // off early), so they get more repetitions to reach a window
+            // comparable to the correct ones.
+            let (per_process, reps): (usize, u64) = if faulty_every.is_some() {
+                (faulty_ops, if quick { 60 } else { 120 })
+            } else {
+                (correct_ops, if quick { 20 } else { 40 })
+            };
+            let history = record(kind, 42, per_process, faulty_every);
+            let completed = history.operations().len() as u64;
+            let label = if faulty_every.is_some() {
+                "faulty"
+            } else {
+                "correct"
+            };
+            out.push(measure(
+                format!("checker/{kind}/{label}"),
+                completed * reps,
+                || {
+                    for _ in 0..reps {
+                        let violation = check_verdict(kind, &history);
+                        assert_eq!(violation, faulty_every.is_some(), "{kind} verdict drifted");
+                    }
+                },
+            ));
+        }
+    }
+
+    // The specialized-monitor showcase: a large unambiguous concurrent queue
+    // trace, decided without ever touching the general search.
+    let large = if quick { 50_000 } else { 1_000_000 };
+    let history = synthetic_queue_history(large);
+    out.push(measure(
+        "checker/queue/synthetic-large".into(),
+        history.operations().len() as u64,
+        || {
+            let checker = StrategyChecker::new(QueueSpec::new());
+            assert!(!checker.check(&history).is_violation());
+        },
+    ));
+
+    // DRV group: the announce/collect wrapper around the canonical queue.
+    // Collect returns the full announced view, so the transform is inherently
+    // quadratic in operations — sizes stay small to keep the suite fast.
+    let drv_ops = if quick { 2_000u64 } else { 3_000 };
+    let processes = 4usize;
+    out.push(measure("drv/announce-collect".into(), drv_ops, || {
+        let drv = Drv::new(impls::correct_object(ObjectKind::Queue), processes);
+        let ids: Vec<ProcessId> = (0..processes)
+            .map(|_| drv.register().expect("slots available"))
+            .collect();
+        for i in 0..drv_ops {
+            let process = ids[(i % processes as u64) as usize];
+            let op = if i % 2 == 0 {
+                ops::queue::enqueue(i as i64)
+            } else {
+                ops::queue::dequeue()
+            };
+            let _ = drv.apply_drv(process, &op);
+        }
+    }));
+
+    // Codec group: encode + decode round-trips per format.
+    let codec_ops = if quick { 10_000 } else { 100_000 };
+    let history = synthetic_queue_history(codec_ops);
+    let events = history.len() as u64;
+    for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+        out.push(measure(format!("codec/{format}/roundtrip"), events, || {
+            let header = TraceHeader::new(ObjectKind::Queue);
+            let mut buffer = Vec::new();
+            write_history(&mut buffer, format, &header, &history).expect("in-memory write");
+            let (_, decoded) = read_history(buffer.as_slice()).expect("in-memory read");
+            assert_eq!(decoded.len(), history.len());
+        }));
+    }
+
+    out
+}
+
+/// Timed repetitions per workload; the fastest is recorded. The minimum (not
+/// the mean) is what regression comparison needs: allocator and scheduler
+/// noise only ever adds time, so min-of-k is the stable estimator of the
+/// code's actual cost — a single-shot measurement was seen varying 4x
+/// run-to-run on the DRV workload, which would flake a 2x CI gate.
+const TIMED_REPS: u32 = 5;
+
+fn measure(id: String, ops: u64, mut work: impl FnMut()) -> Measurement {
+    let mut ns_total = u64::MAX;
+    for _ in 0..TIMED_REPS {
+        let start = Instant::now();
+        work();
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        ns_total = ns_total.min(elapsed);
+    }
+    let measurement = Measurement {
+        id,
+        ops,
+        ns_total,
+        rss_max_kb: peak_rss_kb(),
+    };
+    eprintln!(
+        "{:<35} {:>9} ops  {:>12.1} ns/op  {:>14.0} ops/s",
+        measurement.id,
+        measurement.ops,
+        measurement.ns_per_op(),
+        measurement.ops_per_sec(),
+    );
+    measurement
+}
+
+/// Records one deterministic execution, as `linrv record` would.
+fn record(
+    kind: ObjectKind,
+    seed: u64,
+    ops_per_process: usize,
+    faulty_every: Option<u64>,
+) -> History {
+    let object = match faulty_every {
+        Some(every) => faulty::faulty_object(kind, every),
+        None => impls::correct_object(kind),
+    };
+    let workload = Workload::new(WorkloadKind::for_object(kind), seed);
+    let options = RecorderOptions {
+        processes: 3,
+        ops_per_process,
+    };
+    record_scheduled(&*object, workload, options, seed ^ 0x5EED_01A7_C0DE).history
+}
+
+/// Batch-checks `history` through the strategy dispatch; true on violation.
+fn check_verdict(kind: ObjectKind, history: &History) -> bool {
+    match kind {
+        ObjectKind::Queue => StrategyChecker::new(QueueSpec::new())
+            .check(history)
+            .is_violation(),
+        ObjectKind::Stack => StrategyChecker::new(StackSpec::new())
+            .check(history)
+            .is_violation(),
+        ObjectKind::Set => StrategyChecker::new(SetSpec::new())
+            .check(history)
+            .is_violation(),
+        ObjectKind::PriorityQueue => StrategyChecker::new(PriorityQueueSpec::new())
+            .check(history)
+            .is_violation(),
+        ObjectKind::Counter => StrategyChecker::new(CounterSpec::new())
+            .check(history)
+            .is_violation(),
+        ObjectKind::Register => StrategyChecker::new(RegisterSpec::new())
+            .check(history)
+            .is_violation(),
+        other => panic!("{other} is not part of the bench suite"),
+    }
+}
+
+/// A large unambiguous queue history: two overlapping process lanes, each
+/// value enqueued exactly once and dequeued in FIFO order.
+fn synthetic_queue_history(operations: usize) -> History {
+    let mut b = HistoryBuilder::new();
+    let producer = ProcessId::new(0);
+    let consumer = ProcessId::new(1);
+    let pairs = (operations / 2).max(1) as i64;
+    for value in 0..pairs {
+        // Enqueue and its dequeue overlap, exercising the interval logic of
+        // the monitor, never just sequential fast paths.
+        let enq = b.invoke(producer, ops::queue::enqueue(value));
+        let deq = b.invoke(consumer, ops::queue::dequeue());
+        b.respond(enq, OpValue::Bool(true));
+        b.respond(deq, OpValue::Int(value));
+    }
+    b.build()
+}
+
+// --- environment probes --------------------------------------------------
+
+/// Peak resident set size of this process in kB (`VmHWM`), 0 when
+/// unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Hostname, sanitised for use in a file name.
+fn host() -> String {
+    let raw = std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .unwrap_or_else(|| "unknown".into());
+    let sanitized: String = raw
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    sanitized.trim_matches('-').to_string()
+}
+
+/// Today's date as `YYYY-MM-DD` (UTC), from the system clock.
+fn date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch to civil date (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+// --- JSON emit / parse ---------------------------------------------------
+
+fn render_json(measurements: &[Measurement], quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"host\": \"{}\",", host());
+    let _ = writeln!(out, "  \"date\": \"{}\",", date());
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"ops\": {}, \"ns_total\": {}, \"ns_per_op\": {:.2}, \
+             \"ops_per_sec\": {:.2}, \"rss_max_kb\": {}}}{comma}",
+            m.id,
+            m.ops,
+            m.ns_total,
+            m.ns_per_op(),
+            m.ops_per_sec(),
+            m.rss_max_kb,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// An earlier datapoint, reduced to what the comparison needs.
+struct Datapoint {
+    workloads: Vec<(String, f64)>,
+}
+
+impl Datapoint {
+    fn ns_per_op(&self, id: &str) -> Option<f64> {
+        self.workloads
+            .iter()
+            .find(|(wid, _)| wid == id)
+            .map(|&(_, ns)| ns)
+    }
+}
+
+/// Parses a `linrv-bench/1` file. A minimal recursive-descent JSON reader is
+/// used on purpose: the schema is ours, and the build environment vendors no
+/// JSON dependency outside the trace crate's private module.
+fn parse_datapoint(raw: &str) -> Result<Datapoint, String> {
+    let value = JsonParser { raw, pos: 0 }.parse()?;
+    let schema = value
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    let Some(Json::Array(entries)) = value.get("workloads") else {
+        return Err("missing \"workloads\" array".into());
+    };
+    let mut workloads = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let id = entry
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("workload without \"id\"")?;
+        let ns = entry
+            .get("ns_per_op")
+            .and_then(Json::as_f64)
+            .ok_or("workload without \"ns_per_op\"")?;
+        workloads.push((id.to_string(), ns));
+    }
+    Ok(Datapoint { workloads })
+}
+
+fn compare(new: &[Measurement], old: &Datapoint, threshold: f64) -> Result<ExitCode, String> {
+    let mut regressions = 0usize;
+    eprintln!("comparison (threshold {threshold:.2}x on ns/op):");
+    for m in new {
+        match old.ns_per_op(&m.id) {
+            None => eprintln!("  {:<35} new workload, no baseline", m.id),
+            Some(old_ns) if old_ns <= 0.0 => {
+                eprintln!("  {:<35} baseline has no timing", m.id);
+            }
+            Some(old_ns) => {
+                let ratio = m.ns_per_op() / old_ns;
+                let verdict = if ratio > threshold {
+                    regressions += 1;
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                eprintln!(
+                    "  {:<35} {:>12.1} -> {:>12.1} ns/op  ({ratio:>5.2}x) {verdict}",
+                    m.id,
+                    old_ns,
+                    m.ns_per_op(),
+                );
+            }
+        }
+    }
+    for (id, _) in &old.workloads {
+        if !new.iter().any(|m| &m.id == id) {
+            eprintln!("  {id:<35} dropped from the suite");
+        }
+    }
+    if regressions > 0 {
+        eprintln!("{regressions} workload(s) regressed past {threshold:.2}x");
+        Ok(ExitCode::from(1))
+    } else {
+        eprintln!("no regressions");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+// --- minimal JSON --------------------------------------------------------
+
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    Str(String),
+    Num(f64),
+    /// Booleans and null are parsed for completeness; the comparison never
+    /// reads them, so the payload is dropped.
+    Literal,
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    raw: &'a str,
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn parse(mut self) -> Result<Json, String> {
+        let value = self.value()?;
+        self.skip_ws();
+        if self.pos != self.raw.len() {
+            return Err(format!("trailing data at byte {}", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.raw.as_bytes().get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        other => {
+                            // \uXXXX and exotic escapes never appear in our
+                            // ASCII identifiers; reject rather than corrupt.
+                            return Err(format!("unsupported escape \\{}", other as char));
+                        }
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.raw[start..self.pos]);
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.raw[start..self.pos]
+            .parse()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+
+    fn literal(&mut self, literal: &str) -> Result<Json, String> {
+        if self.raw[self.pos..].starts_with(literal) {
+            self.pos += literal.len();
+            Ok(Json::Literal)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_json_parses_back() {
+        let measurements = vec![
+            Measurement {
+                id: "checker/queue/correct".into(),
+                ops: 900,
+                ns_total: 1_800_000,
+                rss_max_kb: 4096,
+            },
+            Measurement {
+                id: "codec/jsonl/roundtrip".into(),
+                ops: 10_000,
+                ns_total: 5_000_000,
+                rss_max_kb: 8192,
+            },
+        ];
+        let json = render_json(&measurements, true);
+        let datapoint = parse_datapoint(&json).expect("round-trip");
+        assert_eq!(datapoint.workloads.len(), 2);
+        assert_eq!(
+            datapoint.ns_per_op("checker/queue/correct"),
+            Some(2_000.0),
+            "ns/op survives the round trip"
+        );
+    }
+
+    #[test]
+    fn comparison_flags_only_real_regressions() {
+        let old = Datapoint {
+            workloads: vec![("a".into(), 100.0), ("b".into(), 100.0)],
+        };
+        let fine = Measurement {
+            id: "a".into(),
+            ops: 1,
+            ns_total: 150,
+            rss_max_kb: 0,
+        };
+        let slow = Measurement {
+            id: "b".into(),
+            ops: 1,
+            ns_total: 500,
+            rss_max_kb: 0,
+        };
+        let ok = compare(std::slice::from_ref(&fine), &old, 2.0).unwrap();
+        assert_eq!(ok, ExitCode::SUCCESS);
+        let bad = compare(&[fine, slow], &old, 2.0).unwrap();
+        assert_eq!(bad, ExitCode::from(1));
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let raw = r#"{"schema": "other/9", "workloads": []}"#;
+        assert!(parse_datapoint(raw).is_err());
+    }
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        // 2026-08-07 is 20672 days after the epoch.
+        assert_eq!(civil_from_days(20_672), (2026, 8, 7));
+    }
+
+    #[test]
+    fn synthetic_queue_history_is_unambiguous_and_member() {
+        let history = synthetic_queue_history(200);
+        assert_eq!(history.operations().len(), 200);
+        let checker = StrategyChecker::new(QueueSpec::new());
+        assert!(!checker.check(&history).is_violation());
+    }
+}

@@ -11,6 +11,7 @@
 //! ```
 
 mod args;
+mod bench_cmd;
 mod check_cmd;
 mod convert;
 mod genrec;
@@ -39,6 +40,12 @@ USAGE:
 
     linrv convert --to jsonl|binary [--in FILE] [--out FILE]
         Re-encode a trace, streaming; header and events are preserved.
+
+    linrv bench   [--quick] [--out FILE] [--compare OLD.json] [--threshold X]
+        Run the fixed seeded benchmark suite (checker, DRV, trace codec) and
+        write a schema-versioned BENCH_<host>_<date>.json datapoint. With
+        --compare, print per-workload ns/op deltas against an earlier
+        datapoint and exit 1 when any ratio exceeds --threshold (default 2.0).
 
 KINDS:
     queue, stack, set, priority-queue, counter, register, consensus
@@ -87,6 +94,10 @@ fn dispatch(argv: &[String]) -> Result<ExitCode, String> {
         "convert" => {
             let parsed = args::parse(rest, &[], &["to", "in", "out"])?;
             convert::run(&parsed)
+        }
+        "bench" => {
+            let parsed = args::parse(rest, &["quick"], &["out", "compare", "threshold"])?;
+            bench_cmd::run(&parsed)
         }
         other => Err(format!("unknown command {other:?}")),
     }

@@ -4,6 +4,7 @@ use crate::event::Event;
 use crate::history::History;
 use crate::op::{OpId, OpValue, Operation};
 use crate::process::ProcessId;
+use std::collections::HashMap;
 
 /// Incremental builder of well-formed histories.
 ///
@@ -24,15 +25,16 @@ use crate::process::ProcessId;
 pub struct HistoryBuilder {
     history: History,
     next_op: u64,
+    /// Invoking process per operation, so `respond` stays O(1) instead of
+    /// re-scanning the event vector (which would make building an n-operation
+    /// history quadratic — ruinous for the benchmark-sized traces).
+    invoked: HashMap<OpId, ProcessId>,
 }
 
 impl HistoryBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        HistoryBuilder {
-            history: History::new(),
-            next_op: 0,
-        }
+        HistoryBuilder::default()
     }
 
     /// Creates a builder whose next operation identifier starts at `first_op_id`.
@@ -40,8 +42,8 @@ impl HistoryBuilder {
     /// Useful when several builders contribute operations to a common identifier space.
     pub fn starting_at(first_op_id: u64) -> Self {
         HistoryBuilder {
-            history: History::new(),
             next_op: first_op_id,
+            ..HistoryBuilder::default()
         }
     }
 
@@ -50,6 +52,7 @@ impl HistoryBuilder {
     pub fn invoke(&mut self, process: ProcessId, operation: Operation) -> OpId {
         let id = OpId::new(self.next_op);
         self.next_op += 1;
+        self.invoked.insert(id, process);
         self.history.push(Event::invocation(process, id, operation));
         id
     }
@@ -57,6 +60,7 @@ impl HistoryBuilder {
     /// Appends an invocation event with an explicit operation identifier.
     pub fn invoke_with_id(&mut self, process: ProcessId, id: OpId, operation: Operation) {
         self.next_op = self.next_op.max(id.raw() + 1);
+        self.invoked.insert(id, process);
         self.history.push(Event::invocation(process, id, operation));
     }
 
@@ -67,12 +71,11 @@ impl HistoryBuilder {
     /// Panics if `id` was not previously invoked through this builder, since the
     /// resulting history could not be well formed.
     pub fn respond(&mut self, id: OpId, value: OpValue) {
-        let record = self
-            .history
-            .operation(id)
+        let process = *self
+            .invoked
+            .get(&id)
             .unwrap_or_else(|| panic!("respond: operation {id} was never invoked"));
-        self.history
-            .push(Event::response(record.process, id, value));
+        self.history.push(Event::response(process, id, value));
     }
 
     /// Appends a complete operation (invocation immediately followed by its response).

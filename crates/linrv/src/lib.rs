@@ -88,7 +88,7 @@ pub use linrv_trace as trace;
 pub use linrv_core::registry::RegistryFull;
 pub use linrv_history::display::render_timeline;
 
-use linrv_check::{GenLinObject, LinSpec};
+use linrv_check::{GenLinObject, StrategyChecker};
 use linrv_history::History;
 use linrv_spec::SequentialSpec;
 
@@ -96,7 +96,7 @@ use linrv_spec::SequentialSpec;
 /// exposes them, for call sites that need manual `ProcessId` threading, custom
 /// snapshot wiring or untyped `Operation`s.
 pub mod raw {
-    pub use linrv_check::{CheckerConfig, GenLinObject, LinSpec};
+    pub use linrv_check::{CheckerConfig, CheckerStrategy, GenLinObject, LinSpec, StrategyChecker};
     pub use linrv_core as core;
     pub use linrv_core::{
         decoupled, Certificate, DecoupledProducer, DecoupledVerifier, Drv, DrvResponse,
@@ -134,7 +134,9 @@ pub mod prelude {
 /// assert!(linrv::is_linearizable(QueueSpec::new(), &b.build()));
 /// ```
 pub fn is_linearizable<S: SequentialSpec>(spec: S, history: &History) -> bool {
-    LinSpec::new(spec).contains(history)
+    // Strategy dispatch: the log-linear specialized monitor when the object
+    // kind has one and the history is unambiguous, the general search else.
+    StrategyChecker::new(spec).contains(history)
 }
 
 /// Compiles and runs the README's front-page example as a doc-test, so the

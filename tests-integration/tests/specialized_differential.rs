@@ -1,0 +1,152 @@
+//! Differential tests for the specialized log-linear monitors: on recorded
+//! executions — correct and fault-injected, across every covered object kind
+//! — the [`StrategyChecker`] must agree with the general Wing–Gong search,
+//! and ambiguous histories must take the documented fallback route.
+
+use linrv_check::{CheckerStrategy, FallbackReason, LinSpec, Route, StrategyChecker, Verdict};
+use linrv_history::{History, HistoryBuilder, OpValue, ProcessId};
+use linrv_runtime::{faulty, impls, record_scheduled, RecorderOptions, Workload, WorkloadKind};
+use linrv_spec::ops::{queue, stack};
+use linrv_spec::{
+    CounterSpec, ObjectKind, PriorityQueueSpec, QueueSpec, RegisterSpec, SequentialSpec, SetSpec,
+    StackSpec,
+};
+use proptest::prelude::*;
+
+const COVERED_KINDS: [ObjectKind; 6] = [
+    ObjectKind::Queue,
+    ObjectKind::Stack,
+    ObjectKind::Set,
+    ObjectKind::PriorityQueue,
+    ObjectKind::Counter,
+    ObjectKind::Register,
+];
+
+/// Records one deterministic execution: the kind's canonical concurrent
+/// implementation, or its fault injector corrupting every `every`-th apply.
+fn record(kind: ObjectKind, seed: u64, faulty_every: Option<u64>) -> History {
+    let object = match faulty_every {
+        Some(every) => faulty::faulty_object(kind, every),
+        None => impls::correct_object(kind),
+    };
+    let workload = Workload::new(WorkloadKind::for_object(kind), seed);
+    let options = RecorderOptions {
+        processes: 3,
+        ops_per_process: 12,
+    };
+    record_scheduled(&*object, workload, options, seed ^ 0x5EED_D1FF).history
+}
+
+/// Checks `history` both ways and asserts the verdicts agree; returns the
+/// strategy route actually taken.
+fn differential<S: SequentialSpec + Copy>(spec: S, history: &History) -> Route {
+    let general = LinSpec::new(spec).check(history);
+    let (routed, route) = StrategyChecker::new(spec).check_routed(history);
+    assert!(
+        !matches!(routed, Verdict::Inconclusive),
+        "Auto strategy may never be inconclusive (route {route:?})"
+    );
+    assert_eq!(
+        routed.is_violation(),
+        general.is_violation(),
+        "strategy dispatch ({route:?}) disagrees with the general search",
+    );
+    route
+}
+
+fn differential_for(kind: ObjectKind, history: &History) -> Route {
+    match kind {
+        ObjectKind::Queue => differential(QueueSpec::new(), history),
+        ObjectKind::Stack => differential(StackSpec::new(), history),
+        ObjectKind::Set => differential(SetSpec::new(), history),
+        ObjectKind::PriorityQueue => differential(PriorityQueueSpec::new(), history),
+        ObjectKind::Counter => differential(CounterSpec::new(), history),
+        ObjectKind::Register => differential(RegisterSpec::new(), history),
+        other => panic!("kind {other} is not covered by a specialized monitor"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Verdict equality over seeded recorded workloads, correct and faulty,
+    /// for every kind with a specialized monitor. Workload values are
+    /// globally unique per process, so correct collection histories exercise
+    /// the unambiguous fast path rather than falling back.
+    #[test]
+    fn specialized_and_general_verdicts_agree_on_recorded_histories(
+        seed in 0..10_000u64,
+        kind_index in 0..COVERED_KINDS.len(),
+        inject_faults in any::<bool>(),
+    ) {
+        let kind = COVERED_KINDS[kind_index];
+        let history = record(kind, seed, inject_faults.then_some(5));
+        differential_for(kind, &history);
+    }
+}
+
+/// The acceptance path: unambiguous queue histories must actually be decided
+/// by the specialized monitor (not merely agree with the general search via a
+/// fallback), on both the member and the violation side.
+#[test]
+fn unambiguous_queue_histories_take_the_specialized_route() {
+    for seed in 0..16u64 {
+        for faulty_every in [None, Some(3)] {
+            let history = record(ObjectKind::Queue, seed, faulty_every);
+            let (verdict, route) = StrategyChecker::new(QueueSpec::new()).check_routed(&history);
+            assert_eq!(
+                route,
+                Route::Specialized,
+                "seed {seed} faulty {faulty_every:?} fell back ({verdict:?})"
+            );
+        }
+    }
+}
+
+/// Duplicate inserted values break the unique-matching precondition: the
+/// monitor must decline with the documented reason and the general search
+/// must still decide correctly.
+#[test]
+fn ambiguous_histories_fall_back_to_the_general_search() {
+    let p = ProcessId::new(0);
+
+    // Linearizable: the same value enqueued twice, dequeued twice, FIFO.
+    let mut b = HistoryBuilder::new();
+    b.complete(p, queue::enqueue(7), OpValue::Bool(true));
+    b.complete(p, queue::enqueue(7), OpValue::Bool(true));
+    b.complete(p, queue::dequeue(), OpValue::Int(7));
+    b.complete(p, queue::dequeue(), OpValue::Int(7));
+    let member = b.build();
+    let (verdict, route) = StrategyChecker::new(QueueSpec::new()).check_routed(&member);
+    assert_eq!(route, Route::GeneralFallback(FallbackReason::Ambiguous));
+    assert!(verdict.is_member());
+
+    // Not linearizable: one push of 9, two pops of 9.
+    let mut b = HistoryBuilder::new();
+    b.complete(p, stack::push(9), OpValue::Bool(true));
+    b.complete(p, stack::push(9), OpValue::Bool(true));
+    b.complete(p, stack::pop(), OpValue::Int(9));
+    b.complete(p, stack::pop(), OpValue::Int(9));
+    b.complete(p, stack::pop(), OpValue::Int(9));
+    let violating = b.build();
+    let (verdict, route) = StrategyChecker::new(StackSpec::new()).check_routed(&violating);
+    assert_eq!(route, Route::GeneralFallback(FallbackReason::Ambiguous));
+    assert!(verdict.is_violation());
+}
+
+/// `SpecializedOnly` refuses to decide what the monitor declines — the
+/// strategy benchmarks and the 10M-op acceptance test rely on this to prove
+/// the fast path did the work.
+#[test]
+fn specialized_only_declines_instead_of_falling_back() {
+    let p = ProcessId::new(0);
+    let mut b = HistoryBuilder::new();
+    b.complete(p, queue::enqueue(1), OpValue::Bool(true));
+    b.complete(p, queue::enqueue(1), OpValue::Bool(true));
+    let ambiguous = b.build();
+    let checker =
+        StrategyChecker::with_strategy(QueueSpec::new(), CheckerStrategy::SpecializedOnly);
+    let (verdict, route) = checker.check_routed(&ambiguous);
+    assert_eq!(route, Route::Declined(FallbackReason::Ambiguous));
+    assert!(matches!(verdict, Verdict::Inconclusive));
+}
