@@ -22,14 +22,25 @@ use crate::witness::{Verdict, Violation};
 use linrv_history::{History, Operation};
 use linrv_spec::SequentialSpec;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Linearizability of a product object, decided per partition.
 ///
 /// The partition function maps each operation to the key of the sub-object it touches.
 /// The history is a member iff every per-key projection is linearizable with respect to
 /// the (shared) sub-object specification.
+///
+/// The per-key instances are independent, so they can be checked in any order or in
+/// parallel: [`PartitionedSpec::split`] projects the history per key and
+/// [`PartitionedSpec::sub_spec`] builds a fresh sub-specification, which is how
+/// `linrv-pool` fans the partitions out across its checker threads. [`check`] decides
+/// sequentially with an early exit on the first violation; [`check_map`] returns the
+/// full per-key verdict map.
+///
+/// [`check`]: PartitionedSpec::check
+/// [`check_map`]: PartitionedSpec::check_map
 pub struct PartitionedSpec<S, F> {
-    sub_spec_factory: Box<dyn Fn() -> S + Send + Sync>,
+    sub_spec_factory: Arc<dyn Fn() -> S + Send + Sync>,
     partition: F,
     description: String,
 }
@@ -55,22 +66,32 @@ where
         description: impl Into<String>,
     ) -> Self {
         PartitionedSpec {
-            sub_spec_factory: Box::new(sub_spec_factory),
+            sub_spec_factory: Arc::new(sub_spec_factory),
             partition,
             description: description.into(),
         }
     }
 
-    /// Decides membership, returning the verdict of the first violating partition, if
-    /// any.
-    pub fn check(&self, history: &History) -> Verdict {
+    /// A fresh sub-object specification, starting from its own initial state.
+    pub fn sub_spec(&self) -> S {
+        (self.sub_spec_factory)()
+    }
+
+    /// Projects a history into its per-key sub-histories, preserving event order.
+    ///
+    /// The per-key instances are independent and can be checked in any order or in
+    /// parallel against [`PartitionedSpec::sub_spec`] instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Violation`] when the history is not well formed (no projection
+    /// is meaningful then).
+    pub fn split(&self, history: &History) -> Result<BTreeMap<i64, History>, Violation> {
         if let Err(err) = history.check_well_formed() {
-            return Verdict::NotMember {
-                violation: Violation {
-                    history: history.clone(),
-                    explanation: format!("history is not well formed: {err}"),
-                },
-            };
+            return Err(Violation {
+                history: history.clone(),
+                explanation: format!("history is not well formed: {err}"),
+            });
         }
         // Group events by partition key, preserving order.
         let mut per_key: BTreeMap<i64, Vec<linrv_history::Event>> = BTreeMap::new();
@@ -83,15 +104,31 @@ where
             let key = key_of[&event.op_id];
             per_key.entry(key).or_default().push(event.clone());
         }
+        Ok(per_key
+            .into_iter()
+            .map(|(key, events)| (key, History::from_events(events)))
+            .collect())
+    }
+
+    /// Checks one per-key projection against a fresh sub-specification.
+    ///
+    /// Per-key sub-histories go through the strategy dispatch too: a specialized
+    /// monitor (when the sub-spec's kind has one and the projection is unambiguous)
+    /// beats the general search on every partition.
+    pub fn check_partition(&self, sub_history: &History) -> Verdict {
+        StrategyChecker::new(self.sub_spec()).check(sub_history)
+    }
+
+    /// Decides membership, returning the verdict of the first violating partition, if
+    /// any.
+    pub fn check(&self, history: &History) -> Verdict {
+        let per_key = match self.split(history) {
+            Ok(per_key) => per_key,
+            Err(violation) => return Verdict::NotMember { violation },
+        };
         let mut inconclusive = false;
-        for (key, events) in per_key {
-            let sub_history = History::from_events(events);
-            // Per-key sub-histories go through the strategy dispatch too: a
-            // specialized monitor (when the sub-spec's kind has one and the
-            // projection is unambiguous) beats the general search on every
-            // partition.
-            let sub = StrategyChecker::new((self.sub_spec_factory)());
-            match sub.check(&sub_history) {
+        for (key, sub_history) in per_key {
+            match self.check_partition(&sub_history) {
                 Verdict::Member { .. } => {}
                 Verdict::NotMember { violation } => {
                     return Verdict::NotMember {
@@ -111,6 +148,20 @@ where
                 linearization: None,
             }
         }
+    }
+
+    /// Checks **every** partition and returns the per-key verdict map — no early
+    /// exit, so callers see each violating key, not just the first one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Violation`] when the history is not well formed.
+    pub fn check_map(&self, history: &History) -> Result<BTreeMap<i64, Verdict>, Violation> {
+        Ok(self
+            .split(history)?
+            .into_iter()
+            .map(|(key, sub_history)| (key, self.check_partition(&sub_history)))
+            .collect())
     }
 }
 
@@ -193,6 +244,41 @@ mod tests {
         let h = b.build();
         let partitioned = partitioned_set();
         assert!(!partitioned.contains(&h));
+    }
+
+    #[test]
+    fn check_map_reports_every_violating_key() {
+        // Two independent bad keys plus one good one: `check` stops at the
+        // first, `check_map` names both.
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::add(5), OpValue::Bool(true));
+        b.complete(p(1), ops::contains(1), OpValue::Bool(true)); // bad: never added
+        b.complete(p(1), ops::contains(9), OpValue::Bool(true)); // bad: never added
+        let h = b.build();
+        let partitioned = partitioned_set();
+        let map = partitioned.check_map(&h).expect("well formed");
+        assert_eq!(map.len(), 3);
+        assert!(map[&5].is_member());
+        assert!(map[&1].is_violation());
+        assert!(map[&9].is_violation());
+    }
+
+    #[test]
+    fn split_projects_per_key_and_preserves_order() {
+        let mut b = HistoryBuilder::new();
+        b.complete(p(0), ops::add(1), OpValue::Bool(true));
+        b.complete(p(1), ops::add(2), OpValue::Bool(true));
+        b.complete(p(0), ops::remove(1), OpValue::Bool(true));
+        let h = b.build();
+        let partitioned = partitioned_set();
+        let parts = partitioned.split(&h).expect("well formed");
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[&1].len(), 4);
+        assert_eq!(parts[&2].len(), 2);
+        // Each projection is itself checkable against a fresh sub-spec.
+        for part in parts.values() {
+            assert!(partitioned.check_partition(part).is_member());
+        }
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! * **drv** — the `A → A*` announce/collect wrapper (`Drv::apply_drv`),
 //!   whose per-operation cost is the paper's `O(n)` snapshot overhead;
 //! * **codec** — trace encode/decode round-trips through both on-disk
-//!   formats.
+//!   formats;
+//! * **pool** — multi-object monitoring: end-to-end ingestion through a
+//!   `MonitorPool` (sharded queues, work-stealing checkers, prefix GC) and
+//!   the per-object projection checking that `linrv check` runs on tagged
+//!   traces.
 //!
 //! Every workload is seeded, so two runs of the same binary measure the same
 //! work. The emitted JSON is schema-versioned (`linrv-bench/1`) and one
@@ -25,9 +29,12 @@
 //! with exactly that generous threshold, so only real regressions fail.
 
 use crate::args::Parsed;
+use linrv::SnapshotBackend;
+use linrv_check::stream::StreamingChecker;
 use linrv_check::StrategyChecker;
 use linrv_core::Drv;
-use linrv_history::{History, HistoryBuilder, OpValue, ProcessId};
+use linrv_history::{Event, History, HistoryBuilder, OpId, OpValue, ProcessId};
+use linrv_pool::PoolBuilder;
 use linrv_runtime::{faulty, impls, record_scheduled, RecorderOptions, Workload, WorkloadKind};
 use linrv_spec::{
     ops, CounterSpec, ObjectKind, PriorityQueueSpec, QueueSpec, RegisterSpec, SetSpec, StackSpec,
@@ -198,6 +205,80 @@ fn run_suite(quick: bool) -> Vec<Measurement> {
         }));
     }
 
+    // Pool group: multi-object monitoring. `pool/ingest` is the end-to-end
+    // path — lazy monitor creation, session traffic through the sharded
+    // queues, incremental checks and GC on the worker threads, one final
+    // verdict sweep. `pool/check` isolates the per-object projection checking
+    // that `linrv check` runs over tagged traces (no threads, no queues).
+    let pool_objects: u64 = if quick { 200 } else { 1_000 };
+    let pool_ops_per_object: u64 = 10;
+    out.push(measure(
+        "pool/ingest".into(),
+        pool_objects * pool_ops_per_object,
+        || {
+            let pool = PoolBuilder::new(CounterSpec::new())
+                .shards(8)
+                .workers(2)
+                .sessions_per_object(1)
+                .snapshot(SnapshotBackend::Locked)
+                .first_check(8)
+                .build(|_| impls::correct_object(ObjectKind::Counter));
+            for object in 0..pool_objects {
+                let session = pool.session(object).expect("fresh object has free slots");
+                for _ in 0..pool_ops_per_object {
+                    session.inc().expect("observe mode never rejects");
+                }
+            }
+            let verdicts = pool.check_all();
+            assert_eq!(verdicts.len(), pool_objects as usize);
+            assert!(verdicts.values().all(|verdict| verdict.is_correct()));
+        },
+    ));
+
+    let check_objects: u64 = if quick { 50 } else { 200 };
+    let check_ops_per_object: u64 = if quick { 40 } else { 100 };
+    let tagged = synthetic_tagged_events(check_objects, check_ops_per_object);
+    out.push(measure(
+        "pool/check".into(),
+        check_objects * check_ops_per_object,
+        || {
+            let mut checkers = std::collections::BTreeMap::new();
+            for (object, event) in &tagged {
+                let checker = checkers
+                    .entry(*object)
+                    .or_insert_with(|| StreamingChecker::new(CounterSpec::new()));
+                assert!(
+                    checker.push(event.clone()).is_none(),
+                    "synthetic load is correct"
+                );
+            }
+            assert_eq!(checkers.len(), check_objects as usize);
+            for (_, checker) in checkers {
+                assert!(!checker.finish().1.is_violation());
+            }
+        },
+    ));
+
+    out
+}
+
+/// Round-robin interleaved counter traffic over `objects` objects, tagged per
+/// object — each object's projection is a sequential fetch-and-increment run.
+fn synthetic_tagged_events(objects: u64, ops_per_object: u64) -> Vec<(u64, Event)> {
+    let mut out = Vec::with_capacity((objects * ops_per_object * 2) as usize);
+    let process = ProcessId::new(0);
+    for i in 0..ops_per_object {
+        for object in 0..objects {
+            out.push((
+                object,
+                Event::invocation(process, OpId::new(i), ops::counter::inc()),
+            ));
+            out.push((
+                object,
+                Event::response(process, OpId::new(i), OpValue::Int(i as i64)),
+            ));
+        }
+    }
     out
 }
 

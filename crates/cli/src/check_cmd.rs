@@ -3,6 +3,11 @@
 //! Exit status is the verdict: `0` when the recorded history is linearizable
 //! with respect to the specification named by the trace header, `1` with a
 //! violation certificate on stderr when it is not, `2` on malformed input.
+//!
+//! Multi-object traces (events tagged with object ids, as produced by
+//! `linrv-pool`'s tagged trace sink) are verified by projection: each object's
+//! events stream into that object's own checker, and the first violating
+//! object is reported with its id.
 
 use crate::args::Parsed;
 use crate::io::{describe, open_input};
@@ -13,6 +18,7 @@ use linrv_spec::{
     SequentialSpec, SetSpec, StackSpec,
 };
 use linrv_trace::TraceReader;
+use std::collections::BTreeMap;
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -43,45 +49,68 @@ pub(crate) fn run(parsed: &Parsed) -> Result<ExitCode, String> {
     }
 }
 
-fn check<S: SequentialSpec>(
+/// Renders `Some(id)` as ` of object {id}` and `None` (untagged events) as
+/// nothing, so single-object traces keep their historical output.
+fn describe_object(object: Option<u64>) -> String {
+    match object {
+        Some(id) => format!(" of object {id}"),
+        None => String::new(),
+    }
+}
+
+fn check<S: SequentialSpec + Clone>(
     spec: S,
-    reader: TraceReader<impl Read>,
+    mut reader: TraceReader<impl Read>,
     stride: usize,
     quiet: bool,
     source: &str,
 ) -> Result<ExitCode, String> {
     let kind = reader.header().kind;
-    let mut checker = StreamingChecker::with_stride(spec, stride);
-    for event in reader {
-        let event = event.map_err(|err| format!("cannot read {source}: {err}"))?;
+    // One streaming checker per object; untagged events all share the `None`
+    // bucket, so a single-object trace behaves exactly as before.
+    let mut checkers: BTreeMap<Option<u64>, StreamingChecker<S>> = BTreeMap::new();
+    let mut events = 0u64;
+    while let Some(item) = reader.next_tagged() {
+        let (object, event) = item.map_err(|err| format!("cannot read {source}: {err}"))?;
+        events += 1;
+        let checker = checkers
+            .entry(object)
+            .or_insert_with(|| StreamingChecker::with_stride(spec.clone(), stride));
         if checker.push(event).is_some() {
-            // Prefix closure: the violation is final, stop reading.
+            // Prefix closure: this object's violation is final, stop reading.
             break;
         }
     }
-    let events = checker.events_consumed();
-    let (_, verdict) = checker.finish();
-    match verdict {
-        Verdict::Member { .. } => {
-            if !quiet {
+    let objects = checkers.len();
+    for (object, checker) in checkers {
+        let (_, verdict) = checker.finish();
+        match verdict {
+            Verdict::Member { .. } => {}
+            Verdict::NotMember { violation } => {
+                let which = describe_object(object);
                 eprintln!(
-                    "linrv: {source}: OK — {events} events linearizable w.r.t. the {kind} \
-                     specification"
+                    "linrv: {source}: VIOLATION after {events} events — history{which} is \
+                     not linearizable w.r.t. the {kind} specification"
                 );
+                eprintln!("certificate (violating prefix{which}):");
+                eprintln!("{violation}");
+                return Ok(ExitCode::from(1));
             }
-            Ok(ExitCode::SUCCESS)
+            // Unreachable without an explicit exploration budget, which the CLI
+            // never configures; refuse to guess either way.
+            Verdict::Inconclusive => return Err("checker was inconclusive".into()),
         }
-        Verdict::NotMember { violation } => {
-            eprintln!(
-                "linrv: {source}: VIOLATION after {events} events — not linearizable \
-                 w.r.t. the {kind} specification"
-            );
-            eprintln!("certificate (violating prefix):");
-            eprintln!("{violation}");
-            Ok(ExitCode::from(1))
-        }
-        // Unreachable without an explicit exploration budget, which the CLI
-        // never configures; refuse to guess either way.
-        Verdict::Inconclusive => Err("checker was inconclusive".into()),
     }
+    if !quiet {
+        let spread = if objects > 1 {
+            format!(" across {objects} objects")
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "linrv: {source}: OK — {events} events{spread} linearizable w.r.t. the {kind} \
+             specification"
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }

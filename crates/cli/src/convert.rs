@@ -18,11 +18,15 @@ pub(crate) fn run(parsed: &Parsed) -> Result<ExitCode, String> {
     let out = open_output(out_path)?;
     let mut writer = TraceWriter::new(out, to, reader.header())
         .map_err(|err| format!("cannot write trace header: {err}"))?;
-    for event in reader {
-        let event = event.map_err(|err| format!("cannot read {in_name}: {err}"))?;
-        writer
-            .event(&event)
-            .map_err(|err| format!("cannot write event: {err}"))?;
+    let mut reader = reader;
+    while let Some(item) = reader.next_tagged() {
+        // Multi-object traces round-trip: object tags survive the re-encode.
+        let (object, event) = item.map_err(|err| format!("cannot read {in_name}: {err}"))?;
+        match object {
+            Some(object) => writer.tagged_event(object, &event),
+            None => writer.event(&event),
+        }
+        .map_err(|err| format!("cannot write event: {err}"))?;
     }
     let events = writer.events_written();
     writer

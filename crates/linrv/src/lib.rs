@@ -63,6 +63,16 @@
 //! The two layers interoperate freely: typed operations are *encodings* — a typed
 //! session run and a raw run with the same wire operations produce identical
 //! verdicts (property-tested in `tests-integration`).
+//!
+//! ## Monitoring many objects
+//!
+//! One [`Monitor`] verifies one object. Services hosting many logical objects
+//! (a register per key, a queue per tenant) should use the `linrv-pool` crate:
+//! its `MonitorPool` shards object ids, creates these monitors lazily, drains
+//! their events through bounded queues into a work-stealing pool of checker
+//! threads, and garbage-collects checked history prefixes so per-object memory
+//! stays bounded. `linrv_pool::prelude` re-exports everything from
+//! [`prelude`], so it is a drop-in superset of this facade.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -139,8 +149,7 @@ pub fn is_linearizable<S: SequentialSpec>(spec: S, history: &History) -> bool {
     StrategyChecker::new(spec).contains(history)
 }
 
-/// Compiles and runs the README's front-page example as a doc-test, so the
-/// quickstart can never silently drift from the actual API.
-#[cfg(doctest)]
-#[doc = include_str!("../../../README.md")]
-pub struct ReadmeDoctests;
+// The README's examples are compiled as doc-tests by the `linrv-pool` crate
+// (its `ReadmeDoctests` harness): the README also shows the multi-object pool
+// quickstart, which needs `linrv_pool` in scope — a crate that depends on this
+// one and therefore cannot be doc-tested from here.

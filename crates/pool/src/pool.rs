@@ -1,0 +1,663 @@
+//! The [`MonitorPool`]: many per-object monitors behind sharded ingestion and
+//! a work-stealing pool of checker threads.
+
+use crate::queue::BoundedQueue;
+use crate::state::{CheckCfg, CheckState, Counters};
+use crate::verdict::{PoolVerdict, PoolViolation};
+use linrv::{Mode, Monitor, MonitorBuilder, RegistryFull, Session, SnapshotBackend};
+use linrv_check::{PartitionedSpec, Verdict, Violation};
+use linrv_history::{Event, History};
+use linrv_runtime::ConcurrentObject;
+use linrv_spec::{SequentialSpec, TypedObject};
+use linrv_trace::TaggedEventSink;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Non-generic ingestion state shared by sessions (producers) and checker
+/// threads (consumers): the per-shard queues, the drain/shutdown signalling and
+/// the injector for out-of-band jobs.
+pub(crate) struct Ingest {
+    queues: Vec<BoundedQueue>,
+    shutdown: AtomicBool,
+    /// Events handed to the pool (counted *before* enqueueing, so quiesce never
+    /// declares victory while a push is in flight).
+    ingested: AtomicU64,
+    /// Events fed to a per-object check state.
+    processed: AtomicU64,
+    /// Events dropped because the pool shut down while a producer was blocked.
+    dropped: AtomicU64,
+    shard_ingested: Vec<AtomicU64>,
+    /// Wakes idle workers when events or jobs arrive.
+    work_mutex: Mutex<()>,
+    work_cv: Condvar,
+    /// Wakes `quiesce` when processed/dropped catch up with ingested.
+    quiesce_mutex: Mutex<()>,
+    quiesce_cv: Condvar,
+    /// Out-of-band jobs (final checks, partitioned sub-checks) run by the same
+    /// worker threads that drain the shards.
+    injector: Mutex<VecDeque<Job>>,
+    /// The user's trace tap: every ingested event is forwarded here, tagged
+    /// with its object id, before it enters the shard queue.
+    sink: Option<Arc<dyn TaggedEventSink>>,
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+impl Ingest {
+    fn new(shards: usize, queue_capacity: usize, sink: Option<Arc<dyn TaggedEventSink>>) -> Self {
+        Ingest {
+            queues: (0..shards)
+                .map(|_| BoundedQueue::new(queue_capacity))
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            ingested: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            shard_ingested: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            work_mutex: Mutex::new(()),
+            work_cv: Condvar::new(),
+            quiesce_mutex: Mutex::new(()),
+            quiesce_cv: Condvar::new(),
+            injector: Mutex::new(VecDeque::new()),
+            sink,
+        }
+    }
+
+    fn notify_work(&self) {
+        drop(lock(&self.work_mutex));
+        self.work_cv.notify_all();
+    }
+
+    fn notify_quiesce(&self) {
+        drop(lock(&self.quiesce_mutex));
+        self.quiesce_cv.notify_all();
+    }
+
+    fn push_job(&self, job: Job) {
+        lock(&self.injector).push_back(job);
+        self.notify_work();
+    }
+
+    fn pop_job(&self) -> Option<Job> {
+        lock(&self.injector).pop_front()
+    }
+
+    fn backlog(&self) -> bool {
+        self.queues.iter().any(|q| q.len() > 0) || !lock(&self.injector).is_empty()
+    }
+
+    /// Blocks until every event handed to the pool so far has been processed
+    /// (or dropped by shutdown).
+    fn quiesce(&self) {
+        loop {
+            let done =
+                self.processed.load(Ordering::Acquire) + self.dropped.load(Ordering::Acquire);
+            if done >= self.ingested.load(Ordering::Acquire) {
+                return;
+            }
+            self.notify_work();
+            let guard = lock(&self.quiesce_mutex);
+            let _ = self
+                .quiesce_cv
+                .wait_timeout(guard, Duration::from_millis(5))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// The per-session trace tap: forwards each event of one object into its
+/// shard's queue (and to the user's tagged sink, when installed).
+struct ObjectSink {
+    object: u64,
+    shard: usize,
+    ingest: Arc<Ingest>,
+}
+
+impl linrv_trace::EventSink for ObjectSink {
+    fn event(&self, event: &Event) {
+        if let Some(sink) = &self.ingest.sink {
+            sink.tagged_event(self.object, event);
+        }
+        // Count before pushing: quiesce must not observe ingested < queued.
+        self.ingest.ingested.fetch_add(1, Ordering::Release);
+        self.ingest.shard_ingested[self.shard].fetch_add(1, Ordering::Relaxed);
+        let accepted = self.ingest.queues[self.shard]
+            .push((self.object, event.clone()), &self.ingest.shutdown);
+        if accepted {
+            self.ingest.notify_work();
+        } else {
+            self.ingest.dropped.fetch_add(1, Ordering::Release);
+            self.ingest.notify_quiesce();
+        }
+    }
+}
+
+/// One shard: its lazily-populated object registry and the drain lock that
+/// serialises consumers (whoever holds it owns the shard's event order).
+struct Shard<A, S: TypedObject> {
+    registry: Mutex<HashMap<u64, Arc<ObjectEntry<A, S>>>>,
+    drain: Mutex<()>,
+}
+
+/// One monitored object: its DRV monitor and its incremental check state.
+struct ObjectEntry<A, S: TypedObject> {
+    monitor: Monitor<A, S>,
+    state: Mutex<CheckState<S>>,
+}
+
+/// Pool configuration frozen at build time (see `PoolBuilder` for the knobs).
+pub(crate) struct PoolConfig {
+    pub(crate) sessions_per_object: usize,
+    pub(crate) backend: SnapshotBackend,
+    pub(crate) mode: Mode,
+    pub(crate) batch: usize,
+    pub(crate) check: CheckCfg,
+}
+
+/// State shared between the pool handle and its checker threads.
+struct Shared<A, S: TypedObject> {
+    ingest: Arc<Ingest>,
+    shards: Vec<Shard<A, S>>,
+    spec: S,
+    factory: Box<dyn Fn(u64) -> A + Send + Sync>,
+    config: PoolConfig,
+    counters: Counters,
+    steals: AtomicU64,
+}
+
+fn shard_of(object: u64, shards: usize) -> usize {
+    // splitmix64 finaliser: cheap, stateless, and spreads sequential ids.
+    let mut x = object.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)) as usize % shards
+}
+
+impl<A, S> Shared<A, S>
+where
+    A: ConcurrentObject + 'static,
+    S: TypedObject + Clone + Send + Sync + 'static,
+{
+    fn entry(&self, object: u64) -> Arc<ObjectEntry<A, S>> {
+        let shard = shard_of(object, self.shards.len());
+        let mut registry = lock(&self.shards[shard].registry);
+        Arc::clone(registry.entry(object).or_insert_with(|| {
+            let sink = ObjectSink {
+                object,
+                shard,
+                ingest: Arc::clone(&self.ingest),
+            };
+            let monitor = MonitorBuilder::new(self.spec.clone())
+                .processes(self.config.sessions_per_object)
+                .snapshot(self.config.backend)
+                .mode(self.config.mode)
+                .trace_to(sink)
+                .build((self.factory)(object));
+            Arc::new(ObjectEntry {
+                monitor,
+                state: Mutex::new(CheckState::new(&self.spec, &self.config.check)),
+            })
+        }))
+    }
+
+    fn lookup(&self, object: u64) -> Option<Arc<ObjectEntry<A, S>>> {
+        let shard = shard_of(object, self.shards.len());
+        lock(&self.shards[shard].registry).get(&object).cloned()
+    }
+
+    /// One worker's main loop: injector jobs first, then drain the home shard,
+    /// then steal from the others.
+    fn worker(self: &Arc<Self>, home: usize) {
+        let shards = self.shards.len();
+        let mut batch: Vec<(u64, Event)> = Vec::with_capacity(self.config.batch);
+        // Consecutive events usually belong to few objects; cache the last hit.
+        let mut cached: Option<(u64, Arc<ObjectEntry<A, S>>)> = None;
+        loop {
+            if let Some(job) = self.ingest.pop_job() {
+                job();
+                continue;
+            }
+            let mut drained = false;
+            for k in 0..shards {
+                let shard = (home + k) % shards;
+                if self.ingest.queues[shard].len() == 0 {
+                    continue;
+                }
+                // One drainer per shard at a time: holding the guard through
+                // batch processing keeps every object's event order intact.
+                let _guard = match self.shards[shard].drain.try_lock() {
+                    Ok(guard) => guard,
+                    Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => continue,
+                };
+                let n = self.ingest.queues[shard].drain_into(&mut batch, self.config.batch);
+                if n == 0 {
+                    continue;
+                }
+                if k != 0 {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                for (object, event) in batch.drain(..) {
+                    let entry = match &cached {
+                        Some((id, entry)) if *id == object => Arc::clone(entry),
+                        _ => {
+                            let entry = self
+                                .lookup(object)
+                                .expect("events only come from registered objects");
+                            cached = Some((object, Arc::clone(&entry)));
+                            entry
+                        }
+                    };
+                    lock(&entry.state).on_event(
+                        object,
+                        event,
+                        &self.spec,
+                        &self.config.check,
+                        &self.counters,
+                    );
+                }
+                self.ingest.processed.fetch_add(n as u64, Ordering::Release);
+                self.ingest.notify_quiesce();
+                drained = true;
+                break; // recheck the injector between batches
+            }
+            if drained {
+                continue;
+            }
+            if self.ingest.shutdown.load(Ordering::Acquire) && !self.ingest.backlog() {
+                return;
+            }
+            let guard = lock(&self.ingest.work_mutex);
+            let _ = self
+                .ingest
+                .work_cv
+                .wait_timeout(guard, Duration::from_millis(20))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    fn entries(&self) -> Vec<(u64, Arc<ObjectEntry<A, S>>)> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let registry = lock(&shard.registry);
+            all.extend(registry.iter().map(|(id, entry)| (*id, Arc::clone(entry))));
+        }
+        all.sort_by_key(|(id, _)| *id);
+        all
+    }
+}
+
+/// Runs `jobs` on the pool's worker threads and returns their results (in job
+/// order). The calling thread helps drain the injector while it waits, so this
+/// also works when every worker is busy (or the pool was built with one).
+fn run_parallel<T: Send + 'static>(
+    ingest: &Arc<Ingest>,
+    jobs: Vec<Box<dyn FnOnce() -> T + Send>>,
+) -> Vec<T> {
+    type Collector<T> = (Mutex<Vec<(usize, T)>>, Condvar);
+    let total = jobs.len();
+    let collector: Arc<Collector<T>> =
+        Arc::new((Mutex::new(Vec::with_capacity(total)), Condvar::new()));
+    for (index, job) in jobs.into_iter().enumerate() {
+        let collector = Arc::clone(&collector);
+        ingest.push_job(Box::new(move || {
+            let result = job();
+            let (slot, done) = &*collector;
+            lock(slot).push((index, result));
+            done.notify_all();
+        }));
+    }
+    loop {
+        if let Some(job) = ingest.pop_job() {
+            job();
+            continue;
+        }
+        let (slot, done) = &*collector;
+        let mut guard = lock(slot);
+        if guard.len() == total {
+            let mut results = std::mem::take(&mut *guard);
+            drop(guard);
+            results.sort_by_key(|(index, _)| *index);
+            return results.into_iter().map(|(_, result)| result).collect();
+        }
+        let _ = done
+            .wait_timeout(guard, Duration::from_millis(5))
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+    }
+}
+
+/// Aggregate counters of a [`MonitorPool`] (see [`MonitorPool::stats`]).
+///
+/// `gced_events > 0` together with a small `retained_events` is the observable
+/// form of the pool's bounded-memory guarantee: verified prefixes are
+/// summarised away, only the concurrent frontier of each object is retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Objects with a live monitor.
+    pub objects: u64,
+    /// Events handed to the pool by sessions.
+    pub ingested: u64,
+    /// Events fed into per-object incremental checks.
+    pub processed: u64,
+    /// Events dropped during shutdown.
+    pub dropped: u64,
+    /// Checker invocations across all objects.
+    pub checks: u64,
+    /// Events garbage-collected after passing checks.
+    pub gced_events: u64,
+    /// Events currently retained across all per-object tails.
+    pub retained_events: u64,
+    /// Objects with a latched violation.
+    pub violations: u64,
+    /// Batches a worker drained from a shard other than its home shard.
+    pub steals: u64,
+}
+
+/// Per-object counters (see [`MonitorPool::object_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObjectStats {
+    /// The object id.
+    pub object: u64,
+    /// Events currently retained in the object's tail.
+    pub retained_events: u64,
+    /// Events of this object garbage-collected after passing checks.
+    pub gced_events: u64,
+    /// Checker invocations for this object.
+    pub checks: u64,
+    /// Whether a violation has been latched for this object.
+    pub violating: bool,
+}
+
+/// Per-shard counters (see [`MonitorPool::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// The shard index.
+    pub shard: usize,
+    /// Objects registered in this shard.
+    pub objects: u64,
+    /// Events ingested through this shard's queue.
+    pub ingested: u64,
+    /// Events currently waiting in this shard's queue.
+    pub queued: u64,
+}
+
+/// A sharded pool of per-object monitors with asynchronous incremental
+/// checking.
+///
+/// Events flow: each object's [`Monitor`] taps its session traffic into the
+/// object's shard queue; a work-stealing pool of checker threads drains the
+/// shards in batches, feeds per-object incremental checks (geometric schedule)
+/// and garbage-collects verified prefixes so per-object memory stays bounded
+/// by concurrency, not by history length.
+///
+/// Build one with [`PoolBuilder`](crate::PoolBuilder); obtain per-object typed
+/// session handles with [`MonitorPool::session`].
+pub struct MonitorPool<A, S: TypedObject> {
+    shared: Arc<Shared<A, S>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A typed session on one object of a [`MonitorPool`].
+///
+/// Dereferences to the underlying [`Session`], so every typed operation
+/// (`enqueue`, `write`, …) and the raw escape hatch work unchanged.
+///
+/// # Per-object operation cost
+///
+/// The pool's GC bounds how much *history* each object retains, but the DRV
+/// wrapper underneath follows Figure 7 of the paper: announce views grow with
+/// the object's total operation count, so each operation on one object costs
+/// time linear in how many that object has already served (Section 9.1
+/// discusses bounded-size representations). Spreading load across many
+/// objects is cheap; funnelling millions of operations through a single
+/// object is quadratic overall — at the monitor layer, independently of this
+/// crate.
+pub struct PoolSession<A: ConcurrentObject, S: TypedObject> {
+    object: u64,
+    session: Session<A, S>,
+}
+
+impl<A: ConcurrentObject, S: TypedObject> PoolSession<A, S> {
+    /// The object this session operates on.
+    pub fn object(&self) -> u64 {
+        self.object
+    }
+}
+
+impl<A: ConcurrentObject, S: TypedObject> Deref for PoolSession<A, S> {
+    type Target = Session<A, S>;
+
+    fn deref(&self) -> &Session<A, S> {
+        &self.session
+    }
+}
+
+impl<A, S> MonitorPool<A, S>
+where
+    A: ConcurrentObject + 'static,
+    S: TypedObject + Clone + Send + Sync + 'static,
+{
+    pub(crate) fn start(
+        spec: S,
+        factory: Box<dyn Fn(u64) -> A + Send + Sync>,
+        shards: usize,
+        workers: usize,
+        queue_capacity: usize,
+        config: PoolConfig,
+        sink: Option<Arc<dyn TaggedEventSink>>,
+    ) -> Self {
+        let shards = shards.max(1);
+        let ingest = Arc::new(Ingest::new(shards, queue_capacity, sink));
+        let shared = Arc::new(Shared {
+            ingest,
+            shards: (0..shards)
+                .map(|_| Shard {
+                    registry: Mutex::new(HashMap::new()),
+                    drain: Mutex::new(()),
+                })
+                .collect(),
+            spec,
+            factory,
+            config,
+            counters: Counters::default(),
+            steals: AtomicU64::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let home = index % shards;
+                std::thread::Builder::new()
+                    .name(format!("linrv-pool-{index}"))
+                    .spawn(move || shared.worker(home))
+                    .expect("spawning a checker thread")
+            })
+            .collect();
+        MonitorPool { shared, workers }
+    }
+
+    /// Registers a typed session on `object`, creating the object's monitor
+    /// (and its implementation instance, via the factory) on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryFull`] when the object already has
+    /// `sessions_per_object` live sessions.
+    pub fn session(&self, object: u64) -> Result<PoolSession<A, S>, RegistryFull> {
+        let entry = self.shared.entry(object);
+        Ok(PoolSession {
+            object,
+            session: entry.monitor.register()?,
+        })
+    }
+
+    /// The monitor of `object`, when the object has been touched.
+    ///
+    /// Gives access to the full single-object API — certificates,
+    /// [`Monitor::check`], capacity inspection.
+    pub fn monitor(&self, object: u64) -> Option<Monitor<A, S>> {
+        self.shared
+            .lookup(object)
+            .map(|entry| entry.monitor.clone())
+    }
+
+    /// Blocks until every event ingested so far has been fed through the
+    /// incremental checkers.
+    pub fn quiesce(&self) {
+        self.shared.ingest.quiesce();
+    }
+
+    /// Quiesces, runs a final incremental check on every object that has
+    /// unchecked events (in parallel, on the pool's own checker threads) and
+    /// returns the per-object verdicts.
+    pub fn check_all(&self) -> BTreeMap<u64, PoolVerdict> {
+        self.quiesce();
+        let entries = self.shared.entries();
+        let jobs: Vec<Box<dyn FnOnce() -> (u64, PoolVerdict) + Send>> = entries
+            .into_iter()
+            .map(|(object, entry)| {
+                let shared = Arc::clone(&self.shared);
+                let job: Box<dyn FnOnce() -> (u64, PoolVerdict) + Send> = Box::new(move || {
+                    let mut state = lock(&entry.state);
+                    state.finalize(object, &shared.spec, &shared.config.check, &shared.counters);
+                    (object, state.verdict())
+                });
+                job
+            })
+            .collect();
+        run_parallel(&self.shared.ingest, jobs)
+            .into_iter()
+            .collect()
+    }
+
+    /// The violations latched so far, ordered by object id. Unlike
+    /// [`check_all`](Self::check_all) this does not quiesce or run final
+    /// checks — it reports what the asynchronous checkers have already found.
+    pub fn violations(&self) -> Vec<PoolViolation> {
+        self.shared
+            .entries()
+            .into_iter()
+            .filter_map(|(_, entry)| lock(&entry.state).violation().cloned())
+            .collect()
+    }
+
+    /// Splits `history` with `spec` and checks every key's sub-history in
+    /// parallel on the pool's checker threads, returning the per-key verdict
+    /// map (no early exit: every key gets a verdict).
+    ///
+    /// # Errors
+    ///
+    /// Returns the splitting violation when `history` is malformed (not
+    /// well-formed, or an operation without the partition key).
+    pub fn check_partitioned<P, F>(
+        &self,
+        spec: &PartitionedSpec<P, F>,
+        history: &History,
+    ) -> Result<BTreeMap<i64, Verdict>, Violation>
+    where
+        P: SequentialSpec + Clone + Send + 'static,
+        F: Fn(&linrv_history::Operation) -> i64 + Send + Sync,
+    {
+        let partitions = spec.split(history)?;
+        let jobs: Vec<Box<dyn FnOnce() -> (i64, Verdict) + Send>> = partitions
+            .into_iter()
+            .map(|(key, sub_history)| {
+                let sub_spec = spec.sub_spec();
+                let job: Box<dyn FnOnce() -> (i64, Verdict) + Send> = Box::new(move || {
+                    (
+                        key,
+                        linrv_check::StrategyChecker::new(sub_spec).check(&sub_history),
+                    )
+                });
+                job
+            })
+            .collect();
+        Ok(run_parallel(&self.shared.ingest, jobs)
+            .into_iter()
+            .collect())
+    }
+
+    /// Aggregate counters: ingestion, checks, GC, retention, steals.
+    pub fn stats(&self) -> PoolStats {
+        let ingest = &self.shared.ingest;
+        let mut objects = 0;
+        let mut retained = 0;
+        for (_, entry) in self.shared.entries() {
+            objects += 1;
+            retained += lock(&entry.state).retained() as u64;
+        }
+        PoolStats {
+            objects,
+            ingested: ingest.ingested.load(Ordering::Acquire),
+            processed: ingest.processed.load(Ordering::Acquire),
+            dropped: ingest.dropped.load(Ordering::Acquire),
+            checks: self.shared.counters.checks.load(Ordering::Relaxed),
+            gced_events: self.shared.counters.gced.load(Ordering::Relaxed),
+            retained_events: retained,
+            violations: self.shared.counters.violations.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-object counters of `object`, when the object has been touched.
+    ///
+    /// `gced_events` growing while `retained_events` stays small is the
+    /// observable form of checked-prefix GC: verified history is summarised
+    /// away, only the concurrent frontier is kept.
+    pub fn object_stats(&self, object: u64) -> Option<ObjectStats> {
+        self.shared.lookup(object).map(|entry| {
+            let state = lock(&entry.state);
+            ObjectStats {
+                object,
+                retained_events: state.retained() as u64,
+                gced_events: state.gced(),
+                checks: state.checks(),
+                violating: state.violation().is_some(),
+            }
+        })
+    }
+
+    /// Per-shard counters, one entry per shard.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shared
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| ShardStats {
+                shard: index,
+                objects: lock(&shard.registry).len() as u64,
+                ingested: self.shared.ingest.shard_ingested[index].load(Ordering::Relaxed),
+                queued: self.shared.ingest.queues[index].len() as u64,
+            })
+            .collect()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Number of checker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl<A, S: TypedObject> Drop for MonitorPool<A, S> {
+    fn drop(&mut self) {
+        self.shared.ingest.shutdown.store(true, Ordering::Release);
+        self.shared.ingest.notify_work();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

@@ -32,6 +32,10 @@ const VAL_LIST: u8 = 7;
 
 const EVENT_INV: u8 = 0;
 const EVENT_RES: u8 = 1;
+// Tagged variants carry a u64 object id right after the tag byte; the rest of
+// the payload is identical to the untagged form (see `FORMAT.md`).
+const EVENT_INV_TAGGED: u8 = 2;
+const EVENT_RES_TAGGED: u8 = 3;
 
 // --- encoding ---------------------------------------------------------------
 
@@ -68,6 +72,9 @@ pub(crate) fn encode_header(out: &mut Vec<u8>, header: &TraceHeader) -> Result<(
     if header.implementation.is_some() {
         flags |= 8;
     }
+    if header.objects.is_some() {
+        flags |= 16;
+    }
     payload.push(flags);
     if let Some(seed) = header.seed {
         payload.extend_from_slice(&seed.to_le_bytes());
@@ -81,28 +88,49 @@ pub(crate) fn encode_header(out: &mut Vec<u8>, header: &TraceHeader) -> Result<(
     if let Some(name) = &header.implementation {
         encode_str(&mut payload, name);
     }
+    if let Some(objects) = header.objects {
+        payload.extend_from_slice(&objects.to_le_bytes());
+    }
     push_frame(out, &payload, "header")
 }
 
-/// Appends one event frame.
+/// Appends one event frame, optionally tagged with its object id.
 ///
 /// # Errors
 ///
 /// Returns [`TraceError`] when the encoded frame would exceed the reader's
 /// frame cap (an `OpValue` string or list over 16 MiB) — writing it anyway
 /// would produce a trace that every reader rejects at this frame.
-pub(crate) fn encode_event(out: &mut Vec<u8>, event: &Event) -> Result<(), TraceError> {
+pub(crate) fn encode_tagged_event(
+    out: &mut Vec<u8>,
+    object: Option<u64>,
+    event: &Event,
+) -> Result<(), TraceError> {
     let mut payload = Vec::new();
     match &event.kind {
         EventKind::Invocation { op } => {
-            payload.push(EVENT_INV);
+            payload.push(if object.is_some() {
+                EVENT_INV_TAGGED
+            } else {
+                EVENT_INV
+            });
+            if let Some(object) = object {
+                payload.extend_from_slice(&object.to_le_bytes());
+            }
             payload.extend_from_slice(&(event.process.index() as u32).to_le_bytes());
             payload.extend_from_slice(&event.op_id.raw().to_le_bytes());
             encode_str(&mut payload, &op.kind);
             encode_value(&mut payload, &op.arg);
         }
         EventKind::Response { value } => {
-            payload.push(EVENT_RES);
+            payload.push(if object.is_some() {
+                EVENT_RES_TAGGED
+            } else {
+                EVENT_RES
+            });
+            if let Some(object) = object {
+                payload.extend_from_slice(&object.to_le_bytes());
+            }
             payload.extend_from_slice(&(event.process.index() as u32).to_le_bytes());
             payload.extend_from_slice(&event.op_id.raw().to_le_bytes());
             encode_value(&mut payload, value);
@@ -290,23 +318,34 @@ pub(crate) fn decode_header(payload: &[u8], location: &str) -> Result<TraceHeade
     if flags & 8 != 0 {
         header.implementation = Some(cursor.str()?);
     }
+    if flags & 16 != 0 {
+        header.objects = Some(cursor.u64()?);
+    }
     cursor.finish()?;
     Ok(header)
 }
 
-/// Decodes one event frame payload.
-pub(crate) fn decode_event(payload: &[u8], location: &str) -> Result<Event, TraceError> {
+/// Decodes one event frame payload, together with its object tag when the
+/// frame is a tagged variant.
+pub(crate) fn decode_event(
+    payload: &[u8],
+    location: &str,
+) -> Result<(Option<u64>, Event), TraceError> {
     let mut cursor = Cursor::new(payload, location);
     let tag = cursor.u8()?;
+    let object = match tag {
+        EVENT_INV_TAGGED | EVENT_RES_TAGGED => Some(cursor.u64()?),
+        _ => None,
+    };
     let process = ProcessId::new(cursor.u32()?);
     let op_id = OpId::new(cursor.u64()?);
     let event = match tag {
-        EVENT_INV => {
+        EVENT_INV | EVENT_INV_TAGGED => {
             let kind = cursor.str()?;
             let arg = cursor.value(0)?;
             Event::invocation(process, op_id, Operation::new(kind, arg))
         }
-        EVENT_RES => {
+        EVENT_RES | EVENT_RES_TAGGED => {
             let value = cursor.value(0)?;
             Event::response(process, op_id, value)
         }
@@ -318,7 +357,7 @@ pub(crate) fn decode_event(payload: &[u8], location: &str) -> Result<Event, Trac
         }
     };
     cursor.finish()?;
-    Ok(event)
+    Ok((object, event))
 }
 
 /// Bounds-checked little-endian reader over one frame payload.
@@ -435,7 +474,8 @@ mod tests {
                 .with_processes(7)
                 .with_ops_per_process(1000)
                 .with_implementation("stale-register")
-                .with_provenance(Provenance::Faulty),
+                .with_provenance(Provenance::Faulty)
+                .with_objects(1 << 20),
         ] {
             let mut bytes = Vec::new();
             encode_header(&mut bytes, &header).unwrap();
@@ -465,9 +505,17 @@ mod tests {
         ];
         for event in events {
             let mut bytes = Vec::new();
-            encode_event(&mut bytes, &event).unwrap();
+            encode_tagged_event(&mut bytes, None, &event).unwrap();
             let payload = read_frame(&mut bytes.as_slice(), "t").unwrap().unwrap();
-            assert_eq!(decode_event(&payload, "t").unwrap(), event);
+            assert_eq!(decode_event(&payload, "t").unwrap(), (None, event.clone()));
+            // Tagged frames round-trip the object id alongside the same event.
+            bytes.clear();
+            encode_tagged_event(&mut bytes, Some(u64::MAX - 1), &event).unwrap();
+            let payload = read_frame(&mut bytes.as_slice(), "t").unwrap().unwrap();
+            assert_eq!(
+                decode_event(&payload, "t").unwrap(),
+                (Some(u64::MAX - 1), event)
+            );
         }
     }
 
@@ -478,7 +526,7 @@ mod tests {
         let huge = "x".repeat(MAX_FRAME_LEN as usize + 1);
         let event = Event::response(ProcessId::new(0), OpId::new(0), OpValue::Str(huge));
         let mut bytes = Vec::new();
-        let err = encode_event(&mut bytes, &event).unwrap_err();
+        let err = encode_tagged_event(&mut bytes, None, &event).unwrap_err();
         assert!(err.to_string().contains("cap"));
         assert!(bytes.is_empty(), "nothing may be written on refusal");
     }
@@ -526,8 +574,9 @@ mod tests {
         assert!(decode_event(&payload, "t").is_err());
         // Trailing bytes after a well-formed event.
         let mut bytes = Vec::new();
-        encode_event(
+        encode_tagged_event(
             &mut bytes,
+            None,
             &Event::response(ProcessId::new(0), OpId::new(0), OpValue::Unit),
         )
         .unwrap();

@@ -102,6 +102,9 @@ pub struct TraceHeader {
     pub implementation: Option<String>,
     /// What the producer knew about that implementation.
     pub provenance: Provenance,
+    /// Number of distinct objects in a multi-object trace whose events carry
+    /// per-object tags (see `FORMAT.md`); `None` for single-object traces.
+    pub objects: Option<u64>,
 }
 
 impl TraceHeader {
@@ -114,6 +117,7 @@ impl TraceHeader {
             ops_per_process: None,
             implementation: None,
             provenance: Provenance::Unknown,
+            objects: None,
         }
     }
 
@@ -146,6 +150,13 @@ impl TraceHeader {
         self.provenance = provenance;
         self
     }
+
+    /// Sets the distinct-object count of a tagged multi-object trace
+    /// (builder style).
+    pub fn with_objects(mut self, objects: u64) -> Self {
+        self.objects = Some(objects);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -159,13 +170,15 @@ mod tests {
             .with_processes(3)
             .with_ops_per_process(50)
             .with_implementation("ms-queue")
-            .with_provenance(Provenance::Correct);
+            .with_provenance(Provenance::Correct)
+            .with_objects(1000);
         assert_eq!(header.kind, ObjectKind::Queue);
         assert_eq!(header.seed, Some(42));
         assert_eq!(header.processes, Some(3));
         assert_eq!(header.ops_per_process, Some(50));
         assert_eq!(header.implementation.as_deref(), Some("ms-queue"));
         assert_eq!(header.provenance, Provenance::Correct);
+        assert_eq!(header.objects, Some(1000));
     }
 
     #[test]

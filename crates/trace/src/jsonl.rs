@@ -30,6 +30,9 @@ pub(crate) fn encode_header(header: &TraceHeader) -> String {
         out.push_str(",\"impl\":");
         write_escaped(&mut out, name);
     }
+    if let Some(objects) = header.objects {
+        let _ = write!(out, ",\"objects\":{objects}");
+    }
     let _ = write!(out, ",\"provenance\":\"{}\"}}", header.provenance);
     out
 }
@@ -79,6 +82,13 @@ pub(crate) fn decode_header(line: &str, location: &str) -> Result<TraceHeader, T
                 .to_owned(),
         );
     }
+    if let Some(objects) = value.get("objects") {
+        header.objects = Some(
+            objects
+                .as_u64()
+                .ok_or_else(|| TraceError::malformed(location, "\"objects\" must be a u64"))?,
+        );
+    }
     if let Some(provenance) = value.get("provenance") {
         header.provenance = provenance
             .as_str()
@@ -100,15 +110,23 @@ fn decode_u32(value: &Json, field: &str, location: &str) -> Result<u32, TraceErr
 ///
 /// Appending into a caller-owned buffer keeps the per-event hot path of
 /// [`TraceWriter`](crate::TraceWriter) allocation-free in steady state.
-pub(crate) fn encode_event(out: &mut String, event: &Event) {
+///
+/// When `object` is set, the per-object tag is emitted as the `"obj"` field.
+/// Readers that predate tagging ignore unknown fields, so tagged lines still
+/// decode (minus the tag) under the same format version.
+pub(crate) fn encode_tagged_event(out: &mut String, object: Option<u64>, event: &Event) {
     match &event.kind {
         EventKind::Invocation { op } => {
             let _ = write!(
                 out,
-                "{{\"e\":\"inv\",\"p\":{},\"id\":{},\"op\":",
+                "{{\"e\":\"inv\",\"p\":{},\"id\":{}",
                 event.process.index(),
                 event.op_id.raw()
             );
+            if let Some(object) = object {
+                let _ = write!(out, ",\"obj\":{object}");
+            }
+            out.push_str(",\"op\":");
             write_escaped(out, &op.kind);
             out.push_str(",\"arg\":");
             encode_value(out, &op.arg);
@@ -116,19 +134,31 @@ pub(crate) fn encode_event(out: &mut String, event: &Event) {
         EventKind::Response { value } => {
             let _ = write!(
                 out,
-                "{{\"e\":\"res\",\"p\":{},\"id\":{},\"val\":",
+                "{{\"e\":\"res\",\"p\":{},\"id\":{}",
                 event.process.index(),
                 event.op_id.raw()
             );
+            if let Some(object) = object {
+                let _ = write!(out, ",\"obj\":{object}");
+            }
+            out.push_str(",\"val\":");
             encode_value(out, value);
         }
     }
     out.push('}');
 }
 
-/// Decodes one event from its JSONL line. `location` names the line for errors.
-pub(crate) fn decode_event(line: &str, location: &str) -> Result<Event, TraceError> {
+/// Decodes one event (and its optional `"obj"` tag) from its JSONL line.
+/// `location` names the line for errors.
+pub(crate) fn decode_event(line: &str, location: &str) -> Result<(Option<u64>, Event), TraceError> {
     let value = json::parse(line, location)?;
+    let object = match value.get("obj") {
+        None => None,
+        Some(tag) => Some(
+            tag.as_u64()
+                .ok_or_else(|| TraceError::malformed(location, "\"obj\" must be a u64"))?,
+        ),
+    };
     let process = value
         .get("p")
         .and_then(Json::as_u64)
@@ -147,20 +177,26 @@ pub(crate) fn decode_event(line: &str, location: &str) -> Result<Event, TraceErr
             let arg = value
                 .get("arg")
                 .ok_or_else(|| TraceError::malformed(location, "invocation without \"arg\""))?;
-            Ok(Event::invocation(
-                ProcessId::new(process),
-                OpId::new(op_id),
-                Operation::new(kind, decode_value(arg, location)?),
+            Ok((
+                object,
+                Event::invocation(
+                    ProcessId::new(process),
+                    OpId::new(op_id),
+                    Operation::new(kind, decode_value(arg, location)?),
+                ),
             ))
         }
         Some("res") => {
             let val = value
                 .get("val")
                 .ok_or_else(|| TraceError::malformed(location, "response without \"val\""))?;
-            Ok(Event::response(
-                ProcessId::new(process),
-                OpId::new(op_id),
-                decode_value(val, location)?,
+            Ok((
+                object,
+                Event::response(
+                    ProcessId::new(process),
+                    OpId::new(op_id),
+                    decode_value(val, location)?,
+                ),
             ))
         }
         _ => Err(TraceError::malformed(
@@ -252,8 +288,15 @@ mod tests {
 
     fn round_trip_event(event: Event) {
         let mut line = String::new();
-        encode_event(&mut line, &event);
-        assert_eq!(decode_event(&line, "test").unwrap(), event);
+        encode_tagged_event(&mut line, None, &event);
+        assert_eq!(decode_event(&line, "test").unwrap(), (None, event.clone()));
+        // The tagged form round-trips the tag alongside the same event.
+        line.clear();
+        encode_tagged_event(&mut line, Some(u64::MAX), &event);
+        assert_eq!(
+            decode_event(&line, "test").unwrap(),
+            (Some(u64::MAX), event)
+        );
     }
 
     #[test]
@@ -263,7 +306,8 @@ mod tests {
             .with_processes(4)
             .with_ops_per_process(100)
             .with_implementation("spec \"quoted\" name")
-            .with_provenance(Provenance::Faulty);
+            .with_provenance(Provenance::Faulty)
+            .with_objects(10_000);
         let line = encode_header(&full);
         assert_eq!(decode_header(&line, "test").unwrap(), full);
 
@@ -344,6 +388,7 @@ mod tests {
             "{\"e\":\"res\",\"id\":1,\"val\":null}",
             "{\"e\":\"res\",\"p\":0,\"id\":1,\"val\":{\"t\":\"wat\"}}",
             "{\"e\":\"res\",\"p\":0,\"id\":1,\"val\":18446744073709551615}",
+            "{\"e\":\"res\",\"p\":0,\"id\":1,\"obj\":-1,\"val\":null}",
         ] {
             assert!(decode_event(line, "test").is_err(), "{line} should fail");
         }

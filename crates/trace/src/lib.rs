@@ -24,6 +24,14 @@
 //! [`EventSink`] tap accepted by the runtime recorder and the `linrv` facade's
 //! `MonitorBuilder::trace_to`.
 //!
+//! Multi-object producers (the `linrv-pool` monitor pool) additionally tag
+//! every event with the object it belongs to — [`TaggedEventSink`],
+//! [`TraceWriter::tagged_event`], [`TraceReader::next_tagged`] — so one trace
+//! interleaves many objects and `linrv check` verifies it by per-object
+//! projection. Tagging is an additive extension of format version 1: untagged
+//! readers decode tagged JSONL traces unchanged (unknown fields are ignored)
+//! and the binary encoding gives tagged events their own frame tags.
+//!
 //! ```
 //! use linrv_history::{Event, History, OpId, OpValue, Operation, ProcessId};
 //! use linrv_spec::ObjectKind;
@@ -58,8 +66,8 @@ mod writer;
 
 pub use error::TraceError;
 pub use header::{Provenance, TraceFormat, TraceHeader};
-pub use reader::{read_history, TraceReader};
-pub use sink::{EventSink, NullSink};
+pub use reader::{read_history, read_tagged_history, TraceReader};
+pub use sink::{EventSink, NullSink, TaggedEventSink};
 pub use writer::{write_history, SharedTraceWriter, TraceWriter};
 
 /// The trace format version this build reads and writes.

@@ -76,7 +76,31 @@ impl<R: Read> TraceReader<R> {
         self.format
     }
 
-    fn next_jsonl(&mut self) -> Option<Result<Event, TraceError>> {
+    /// Yields the next event together with its per-object tag (`None` for
+    /// untagged events); `None` at end-of-stream.
+    ///
+    /// This is the tag-preserving form of [`Iterator::next`] and shares its
+    /// fusing behaviour: after the first error, both yield `None` forever.
+    /// Multi-object consumers (`linrv check`'s per-object projection, tag-
+    /// preserving `linrv convert`) iterate this; single-object consumers use
+    /// the plain [`Iterator`], which drops the tags.
+    #[allow(clippy::type_complexity)]
+    pub fn next_tagged(&mut self) -> Option<Result<(Option<u64>, Event), TraceError>> {
+        if self.done {
+            return None;
+        }
+        let next = match self.format {
+            TraceFormat::Jsonl => self.next_jsonl(),
+            TraceFormat::Binary => self.next_binary(),
+        };
+        match &next {
+            None | Some(Err(_)) => self.done = true,
+            Some(Ok(_)) => {}
+        }
+        next
+    }
+
+    fn next_jsonl(&mut self) -> Option<Result<(Option<u64>, Event), TraceError>> {
         loop {
             let location = format!("line {}", self.record + 1);
             let line = match read_capped_line(&mut self.input, &location) {
@@ -93,7 +117,7 @@ impl<R: Read> TraceReader<R> {
         }
     }
 
-    fn next_binary(&mut self) -> Option<Result<Event, TraceError>> {
+    fn next_binary(&mut self) -> Option<Result<(Option<u64>, Event), TraceError>> {
         self.record += 1;
         let location = format!("frame {}", self.record);
         match binary::read_frame(&mut self.input, &location) {
@@ -132,18 +156,8 @@ impl<R: Read> Iterator for TraceReader<R> {
     type Item = Result<Event, TraceError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.done {
-            return None;
-        }
-        let next = match self.format {
-            TraceFormat::Jsonl => self.next_jsonl(),
-            TraceFormat::Binary => self.next_binary(),
-        };
-        match &next {
-            None | Some(Err(_)) => self.done = true,
-            Some(Ok(_)) => {}
-        }
-        next
+        self.next_tagged()
+            .map(|item| item.map(|(_object, event)| event))
     }
 }
 
@@ -162,6 +176,27 @@ pub fn read_history<R: Read>(input: R) -> Result<(TraceHeader, History), TraceEr
         history.push(event?);
     }
     Ok((reader.header().clone(), history))
+}
+
+/// Reads a whole trace into memory keeping object tags: the header and every
+/// event paired with its object id (`None` for untagged events).
+///
+/// Convenience for tests and small multi-object traces; large traces should
+/// iterate [`TraceReader::next_tagged`] instead.
+///
+/// # Errors
+///
+/// Returns the first [`TraceError`] encountered.
+#[allow(clippy::type_complexity)]
+pub fn read_tagged_history<R: Read>(
+    input: R,
+) -> Result<(TraceHeader, Vec<(Option<u64>, Event)>), TraceError> {
+    let mut reader = TraceReader::new(input)?;
+    let mut events = Vec::new();
+    while let Some(item) = reader.next_tagged() {
+        events.push(item?);
+    }
+    Ok((reader.header().clone(), events))
 }
 
 #[cfg(test)]
@@ -195,6 +230,33 @@ mod tests {
             assert_eq!(reader.header().kind, ObjectKind::Stack);
             let events: Result<Vec<_>, _> = reader.collect();
             assert_eq!(events.unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn tagged_events_round_trip_in_both_formats() {
+        use crate::writer::TraceWriter;
+        let header = TraceHeader::new(ObjectKind::Stack).with_objects(2);
+        for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+            let mut writer = TraceWriter::new(Vec::new(), format, &header).unwrap();
+            for (i, event) in sample_history().events().iter().enumerate() {
+                writer.tagged_event(i as u64 % 2, event).unwrap();
+            }
+            let bytes = writer.finish().unwrap();
+            let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+            assert_eq!(reader.header().objects, Some(2));
+            let mut tagged = Vec::new();
+            while let Some(item) = reader.next_tagged() {
+                tagged.push(item.unwrap());
+            }
+            let tags: Vec<_> = tagged.iter().map(|(tag, _)| *tag).collect();
+            assert_eq!(tags, vec![Some(0), Some(1), Some(0), Some(1)]);
+            let events: Vec<_> = tagged.into_iter().map(|(_, event)| event).collect();
+            assert_eq!(History::from_events(events), sample_history());
+            // The plain iterator reads the same trace, just without the tags.
+            let (decoded_header, history) = read_history(bytes.as_slice()).unwrap();
+            assert_eq!(decoded_header, header);
+            assert_eq!(history, sample_history());
         }
     }
 

@@ -20,12 +20,31 @@ pub trait EventSink: Send + Sync {
     fn event(&self, event: &Event);
 }
 
+/// A destination for history events tagged with the object they belong to.
+///
+/// Multi-object producers — `linrv-pool`'s `MonitorPool` foremost — interleave
+/// the events of many independent objects into one stream; the tag is what lets
+/// an offline checker verify the stream by per-object projection. Implemented
+/// by [`SharedTraceWriter`](crate::SharedTraceWriter) (the tag is encoded into
+/// the trace, see `FORMAT.md`).
+///
+/// The same hot-path contract as [`EventSink`] applies: cheap, thread-safe,
+/// never panics, never aborts the traced execution.
+pub trait TaggedEventSink: Send + Sync {
+    /// Records one event of the object identified by `object`.
+    fn tagged_event(&self, object: u64, event: &Event);
+}
+
 /// A sink that drops every event; useful as a default and in tests.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullSink;
 
 impl EventSink for NullSink {
     fn event(&self, _event: &Event) {}
+}
+
+impl TaggedEventSink for NullSink {
+    fn tagged_event(&self, _object: u64, _event: &Event) {}
 }
 
 /// Forwarding through references, so `&sink` can be passed without cloning.
@@ -38,6 +57,18 @@ impl<S: EventSink + ?Sized> EventSink for &S {
 impl<S: EventSink + ?Sized> EventSink for std::sync::Arc<S> {
     fn event(&self, event: &Event) {
         (**self).event(event);
+    }
+}
+
+impl<S: TaggedEventSink + ?Sized> TaggedEventSink for &S {
+    fn tagged_event(&self, object: u64, event: &Event) {
+        (**self).tagged_event(object, event);
+    }
+}
+
+impl<S: TaggedEventSink + ?Sized> TaggedEventSink for std::sync::Arc<S> {
+    fn tagged_event(&self, object: u64, event: &Event) {
+        (**self).tagged_event(object, event);
     }
 }
 
@@ -56,5 +87,8 @@ mod tests {
         by_ref.event(&event);
         let arced: Arc<dyn EventSink> = Arc::new(NullSink);
         arced.event(&event);
+        let tagged: Arc<dyn TaggedEventSink> = Arc::new(NullSink);
+        tagged.tagged_event(7, &event);
+        (&NullSink as &dyn TaggedEventSink).tagged_event(7, &event);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::error::TraceError;
 use crate::header::{TraceFormat, TraceHeader};
-use crate::sink::EventSink;
+use crate::sink::{EventSink, TaggedEventSink};
 use crate::{binary, jsonl};
 use linrv_history::{Event, History};
 use std::io::Write;
@@ -61,16 +61,30 @@ impl<W: Write> TraceWriter<W> {
     /// binary event frame would exceed the format's 16 MiB cap (readers would
     /// reject it, so writing it is refused up front).
     pub fn event(&mut self, event: &Event) -> Result<(), TraceError> {
+        self.write_tagged(None, event)
+    }
+
+    /// Appends one event tagged with the object it belongs to, for multi-object
+    /// traces (see `FORMAT.md`).
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceWriter::event`].
+    pub fn tagged_event(&mut self, object: u64, event: &Event) -> Result<(), TraceError> {
+        self.write_tagged(Some(object), event)
+    }
+
+    fn write_tagged(&mut self, object: Option<u64>, event: &Event) -> Result<(), TraceError> {
         match self.format {
             TraceFormat::Jsonl => {
                 self.line.clear();
-                jsonl::encode_event(&mut self.line, event);
+                jsonl::encode_tagged_event(&mut self.line, object, event);
                 self.line.push('\n');
                 self.out.write_all(self.line.as_bytes())?;
             }
             TraceFormat::Binary => {
                 self.scratch.clear();
-                binary::encode_event(&mut self.scratch, event)?;
+                binary::encode_tagged_event(&mut self.scratch, object, event)?;
                 self.out.write_all(&self.scratch)?;
             }
         }
@@ -199,12 +213,24 @@ impl<W: Write + Send> SharedTraceWriter<W> {
 
 impl<W: Write + Send> EventSink for SharedTraceWriter<W> {
     fn event(&self, event: &Event) {
+        self.sink(None, event);
+    }
+}
+
+impl<W: Write + Send> TaggedEventSink for SharedTraceWriter<W> {
+    fn tagged_event(&self, object: u64, event: &Event) {
+        self.sink(Some(object), event);
+    }
+}
+
+impl<W: Write + Send> SharedTraceWriter<W> {
+    fn sink(&self, object: Option<u64>, event: &Event) {
         let mut state = self.lock();
         if state.error.is_some() {
             return;
         }
         if let Some(writer) = state.writer.as_mut() {
-            if let Err(error) = writer.event(event) {
+            if let Err(error) = writer.write_tagged(object, event) {
                 state.error = Some(error);
                 state.writer = None;
             }
