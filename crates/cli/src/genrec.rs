@@ -16,7 +16,7 @@
 use crate::args::Parsed;
 use crate::io::{describe, open_output};
 use linrv_runtime::{
-    faulty, impls, record_scheduled_traced, RecorderOptions, Workload, WorkloadKind,
+    faulty, impls, record_scheduled_traced, Mix, RecorderOptions, Workload, WorkloadKind,
 };
 use linrv_spec::ObjectKind;
 use linrv_trace::{Provenance, SharedTraceWriter, TraceFormat, TraceHeader};
@@ -29,6 +29,25 @@ pub(crate) enum Source {
     Specification,
     /// `record`: the canonical concurrent implementation.
     Implementation,
+}
+
+/// Parses `--mix A,B[,C]` into the kind's operation-class ratio weights.
+fn parse_mix_weights(raw: &str) -> Result<[u32; 3], String> {
+    let parts: Vec<&str> = raw.split(',').collect();
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err("--mix expects two or three comma-separated weights".into());
+    }
+    let mut weights = [0u32; 3];
+    for (slot, part) in weights.iter_mut().zip(&parts) {
+        *slot = part
+            .trim()
+            .parse()
+            .map_err(|err| format!("invalid value for --mix: {err}"))?;
+    }
+    if weights.iter().all(|&w| w == 0) {
+        return Err("--mix weights must not all be zero".into());
+    }
+    Ok(weights)
 }
 
 /// Derives the interleaving seed from the user's seed. Any fixed injective-ish
@@ -67,12 +86,32 @@ pub(crate) fn run(parsed: &Parsed, source: Source) -> Result<ExitCode, String> {
     // always bites (pass a larger --ops to study rarer faults).
     let every = every.min(u64::from(processes) * u64::from(ops)).max(1);
 
+    // Workload shaping: --mix/--keys/--skew override the kind's historical
+    // default mix. Without any of them the default mix is used untouched, so
+    // existing seeds keep producing byte-identical traces.
+    let workload_kind = WorkloadKind::for_object(kind);
+    let mut mix = Mix::default_for(workload_kind);
+    let custom_mix =
+        parsed.get("mix").is_some() || parsed.get("keys").is_some() || parsed.get("skew").is_some();
+    if let Some(raw) = parsed.get("mix") {
+        mix = mix.with_weights(parse_mix_weights(raw)?);
+    }
+    let keys: u32 = parsed.get_or("keys", mix.key_range)?;
+    if keys == 0 {
+        return Err("--keys must be positive".into());
+    }
+    let skew: f64 = parsed.get_or("skew", mix.skew)?;
+    if !skew.is_finite() || skew < 0.0 {
+        return Err("--skew must be a finite non-negative number".into());
+    }
+    mix = mix.with_key_range(keys).with_skew(skew);
+
     let object = match (source, faulty) {
         (_, true) => faulty::faulty_object(kind, every),
         (Source::Specification, false) => impls::spec_object(kind),
         (Source::Implementation, false) => impls::correct_object(kind),
     };
-    let header = TraceHeader::new(kind)
+    let mut header = TraceHeader::new(kind)
         .with_seed(seed)
         .with_processes(processes)
         .with_ops_per_process(ops)
@@ -82,6 +121,12 @@ pub(crate) fn run(parsed: &Parsed, source: Source) -> Result<ExitCode, String> {
         } else {
             Provenance::Correct
         });
+    if custom_mix {
+        // Record the non-default shaping in the advisory scenario field so the
+        // trace stays self-describing.
+        let [w0, w1, w2] = mix.weights;
+        header = header.with_scenario(format!("mix={w0},{w1},{w2}/keys={keys}/skew={skew}"));
+    }
 
     let out_path = parsed.get("out");
     let out = open_output(out_path)?;
@@ -89,7 +134,7 @@ pub(crate) fn run(parsed: &Parsed, source: Source) -> Result<ExitCode, String> {
         .map_err(|err| format!("cannot write trace header: {err}"))?;
     let run = record_scheduled_traced(
         &*object,
-        Workload::new(WorkloadKind::for_object(kind), seed),
+        Workload::new(workload_kind, seed).with_mix(mix),
         RecorderOptions {
             processes: processes as usize,
             ops_per_process: ops as usize,

@@ -14,6 +14,7 @@ mod args;
 mod bench_cmd;
 mod check_cmd;
 mod convert;
+mod fuzz_cmd;
 mod genrec;
 mod io;
 
@@ -24,10 +25,13 @@ linrv — record, replay and offline-check linearizability traces
 
 USAGE:
     linrv gen     --kind <kind> [--seed N] [--processes N] [--ops N]
+                  [--mix A,B[,C]] [--keys N] [--skew X]
                   [--faulty] [--every K] [--format jsonl|binary] [--out FILE]
         Generate a trace from a seeded workload executed by the sequential
         specification (or, with --faulty, the kind's fault injector).
-        Bit-for-bit deterministic per --seed.
+        --mix sets the kind's operation-class weights, --keys the key range
+        and --skew a hot-key exponent (0 = uniform). Bit-for-bit
+        deterministic per --seed.
 
     linrv record  (same flags as gen)
         Record an execution of the canonical concurrent implementation for
@@ -40,6 +44,14 @@ USAGE:
 
     linrv convert --to jsonl|binary [--in FILE] [--out FILE]
         Re-encode a trace, streaming; header and events are preserved.
+
+    linrv fuzz    [--scenarios N] [--seed N] [--quick] [--processes N]
+                  [--ops N] [--corpus DIR]
+        Sweep N seeded scenarios (generator x nemesis x kind) through the
+        checker, shrink every failing trace to a locally minimal witness and
+        print a one-screen report. With --corpus, write failing traces (full
+        and shrunk) as JSONL under DIR. Bit-for-bit deterministic per --seed.
+        Exit 0 when every injected fault was caught and nothing else violated.
 
     linrv bench   [--quick] [--out FILE] [--compare OLD.json] [--threshold X]
         Run the fixed seeded benchmark suite (checker, DRV, trace codec) and
@@ -95,6 +107,10 @@ fn dispatch(argv: &[String]) -> Result<ExitCode, String> {
             let parsed = args::parse(rest, &[], &["to", "in", "out"])?;
             convert::run(&parsed)
         }
+        "fuzz" => {
+            let parsed = args::parse(rest, FUZZ_SWITCHES, FUZZ_OPTIONS)?;
+            fuzz_cmd::run(&parsed)
+        }
         "bench" => {
             let parsed = args::parse(rest, &["quick"], &["out", "compare", "threshold"])?;
             bench_cmd::run(&parsed)
@@ -104,4 +120,17 @@ fn dispatch(argv: &[String]) -> Result<ExitCode, String> {
 }
 
 const GEN_SWITCHES: &[&str] = &["faulty"];
-const GEN_OPTIONS: &[&str] = &["kind", "seed", "processes", "ops", "every", "format", "out"];
+const GEN_OPTIONS: &[&str] = &[
+    "kind",
+    "seed",
+    "processes",
+    "ops",
+    "every",
+    "format",
+    "out",
+    "mix",
+    "keys",
+    "skew",
+];
+const FUZZ_SWITCHES: &[&str] = &["quick"];
+const FUZZ_OPTIONS: &[&str] = &["scenarios", "seed", "corpus", "processes", "ops"];

@@ -162,9 +162,129 @@ fn convert_round_trips_losslessly_and_check_agrees_on_both_encodings() {
 }
 
 #[test]
+fn gen_mix_flags_shape_the_workload_and_tag_the_header() {
+    // A pure-enqueue mix: the trace records the shaping and stays correct.
+    let skewed = linrv(&[
+        "gen", "--kind", "queue", "--seed", "5", "--mix", "1,0", "--keys", "4", "--skew", "1.5",
+    ]);
+    assert_eq!(exit_code(&skewed), 0);
+    let text = String::from_utf8_lossy(&skewed.stdout);
+    assert!(
+        text.contains("\"scenario\":\"mix=1,0,0/keys=4/skew=1.5\""),
+        "non-default mixes must be recorded in the header, got: {}",
+        text.lines().next().unwrap_or_default()
+    );
+    assert!(!text.contains("Dequeue"), "--mix 1,0 is enqueue-only");
+    assert_eq!(exit_code(&linrv_with_stdin(&["check"], &skewed.stdout)), 0);
+
+    // Without the flags the header carries no scenario: the default mix is
+    // byte-for-byte the historical one (also pinned by the golden corpus).
+    let plain = linrv(&["gen", "--kind", "queue", "--seed", "5"]);
+    assert!(!String::from_utf8_lossy(&plain.stdout).contains("\"scenario\""));
+}
+
+#[test]
+fn fuzz_quick_catches_and_shrinks_deterministically() {
+    let dir_a = temp_path("fuzz-a");
+    let dir_b = temp_path("fuzz-b");
+    let run = |dir: &std::path::Path| {
+        linrv(&[
+            "fuzz",
+            "--quick",
+            "--seed",
+            "42",
+            "--corpus",
+            dir.to_str().unwrap(),
+        ])
+    };
+    let a = run(&dir_a);
+    // Exit 0: every injected fault was caught and shrunk, nothing else failed.
+    assert_eq!(exit_code(&a), 0, "{}", String::from_utf8_lossy(&a.stdout));
+    let report = String::from_utf8_lossy(&a.stdout);
+    assert!(report.starts_with("linrv fuzz: seed 42, 24 scenarios"));
+    assert!(report.contains("caught and shrunk"));
+    assert!(report.contains("0 missed, 0 unexpected"));
+    assert!(
+        report.contains("VIOLATION") && report.contains("minimal"),
+        "per-violation shrink lines expected, got: {report}"
+    );
+
+    // Bit-for-bit determinism: same report, byte-identical corpus.
+    let b = run(&dir_b);
+    assert_eq!(a.stdout, b.stdout);
+    let mut names: Vec<String> = std::fs::read_dir(&dir_a)
+        .unwrap()
+        .map(|entry| entry.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "violating scenarios must write traces");
+    for name in &names {
+        assert_eq!(
+            std::fs::read(dir_a.join(name)).unwrap(),
+            std::fs::read(dir_b.join(name)).unwrap(),
+            "corpus file {name} must be byte-identical across runs"
+        );
+        // Every corpus trace is itself a checkable violation: exit 1.
+        assert_eq!(
+            exit_code(&linrv(&["check", dir_a.join(name).to_str().unwrap()])),
+            1,
+            "{name} must replay as a violation"
+        );
+    }
+    for dir in [dir_a, dir_b] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn committed_shrunk_witnesses_check_as_violations() {
+    // The shrunk minimal traces committed under tests-integration replay
+    // through the CLI with the violation exit code pinned.
+    let dir =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests-integration/traces/shrunk");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("shrunk corpus dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        seen += 1;
+        let verdict = linrv(&["check", path.to_str().unwrap()]);
+        assert_eq!(exit_code(&verdict), 1, "{} must exit 1", path.display());
+        let stderr = String::from_utf8_lossy(&verdict.stderr);
+        assert!(
+            stderr.contains("certificate"),
+            "{}: violation must print a certificate",
+            path.display()
+        );
+    }
+    assert!(seen >= 2, "expected committed shrunk witnesses");
+}
+
+#[test]
 fn errors_exit_2() {
     assert_eq!(exit_code(&linrv(&["frobnicate"])), 2);
     assert_eq!(exit_code(&linrv(&["gen"])), 2, "missing --kind");
+    assert_eq!(exit_code(&linrv(&["fuzz", "--scenarios", "0"])), 2);
+    assert_eq!(exit_code(&linrv(&["fuzz", "extra-positional"])), 2);
+    assert_eq!(
+        exit_code(&linrv(&["gen", "--kind", "queue", "--mix", "0,0"])),
+        2,
+        "all-zero mix weights"
+    );
+    assert_eq!(
+        exit_code(&linrv(&["gen", "--kind", "queue", "--mix", "1"])),
+        2,
+        "one weight is not a mix"
+    );
+    assert_eq!(
+        exit_code(&linrv(&["gen", "--kind", "queue", "--keys", "0"])),
+        2
+    );
+    assert_eq!(
+        exit_code(&linrv(&["gen", "--kind", "queue", "--skew", "-1"])),
+        2
+    );
     assert_eq!(exit_code(&linrv(&["gen", "--kind", "blob"])), 2);
     assert_eq!(
         exit_code(&linrv(&["gen", "--kind", "queue", "--seed", "x"])),
@@ -191,7 +311,7 @@ fn help_exits_0_and_documents_the_pipeline() {
     let help = linrv(&["--help"]);
     assert_eq!(exit_code(&help), 0);
     let text = String::from_utf8_lossy(&help.stdout);
-    for needle in ["gen", "record", "check", "convert", "EXIT STATUS"] {
+    for needle in ["gen", "record", "check", "convert", "fuzz", "EXIT STATUS"] {
         assert!(text.contains(needle), "help must mention {needle}");
     }
 }

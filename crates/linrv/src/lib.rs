@@ -113,7 +113,11 @@ pub mod raw {
         EnforcedResponse, ProcessRegistry, RegistryFull, SelfEnforced, Verifier, VerifierOutcome,
     };
     pub use linrv_history::{History, HistoryBuilder, OpId, OpValue, Operation, ProcessId};
-    pub use linrv_runtime::ConcurrentObject;
+    pub use linrv_runtime::{
+        record_scheduled_controlled, ConcurrentObject, ControlledRun, FaultCmd, Mix, NoFaults,
+        OpSource, ScheduleFaults, SourceStep, Workload, WorkloadKind, WorkloadSource,
+        MAX_IDLE_TICKS,
+    };
     pub use linrv_snapshot::Snapshot;
 }
 

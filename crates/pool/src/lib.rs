@@ -71,13 +71,6 @@ pub mod prelude {
     pub use linrv::prelude::*;
 }
 
-/// Compiles and runs the README's examples as doc-tests — including the
-/// multi-object pool quickstart, which needs this crate in scope and therefore
-/// lives here rather than in `linrv` (which `linrv-pool` depends on).
-#[cfg(doctest)]
-#[doc = include_str!("../../../README.md")]
-pub struct ReadmeDoctests;
-
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;

@@ -35,7 +35,8 @@ pub mod workload;
 
 pub use object::ConcurrentObject;
 pub use recorder::{
-    record_execution, record_execution_traced, record_scheduled, record_scheduled_traced,
-    RecordedExecution, RecorderOptions,
+    record_execution, record_execution_traced, record_scheduled, record_scheduled_controlled,
+    record_scheduled_traced, ControlledRun, FaultCmd, NoFaults, OpSource, RecordedExecution,
+    RecorderOptions, ScheduleFaults, SourceStep, MAX_IDLE_TICKS,
 };
-pub use workload::{Workload, WorkloadKind};
+pub use workload::{Mix, Workload, WorkloadKind, WorkloadSource};

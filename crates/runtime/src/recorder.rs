@@ -256,6 +256,224 @@ fn record_scheduled_impl(
     }
 }
 
+/// One step pulled from an [`OpSource`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceStep {
+    /// Invoke this operation next.
+    Invoke(Operation),
+    /// Stay quiescent for this many scheduler steps before pulling again
+    /// (burst/quiescence timing; clamped to [`MAX_IDLE_TICKS`]).
+    Pause(u64),
+}
+
+/// A pull-based source of per-process operations for
+/// [`record_scheduled_controlled`], generalising [`Workload`] (which
+/// pre-computes each process's sequence — see
+/// [`WorkloadSource`](crate::workload::WorkloadSource)) to lazy, stateful
+/// generators.
+pub trait OpSource {
+    /// The next step for `process`: an operation, a pause, or `None` when the
+    /// process has no further operations.
+    fn next_step(&mut self, process: usize) -> Option<SourceStep>;
+}
+
+/// A fault command applied to the controlled scheduler (see [`ScheduleFaults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCmd {
+    /// Crash the process **mid-operation**: if an operation is in flight it
+    /// never completes (its invocation stays pending forever); if the process
+    /// is between operations it crashes right after logging its next
+    /// invocation. Crashed processes take no further steps.
+    Crash(usize),
+    /// Withhold scheduling from the process for this many scheduler steps
+    /// (stretching its current interval, as in Figures 5–6 of the paper;
+    /// clamped to [`MAX_IDLE_TICKS`]).
+    Stall(usize, u64),
+}
+
+/// Deterministic fault hooks consulted by [`record_scheduled_controlled`] once
+/// per scheduler step. Implementations must be pure functions of the step
+/// number (plus their own seeded state) for runs to stay reproducible.
+pub trait ScheduleFaults {
+    /// The commands to apply at `step`, before any process is granted.
+    fn at_step(&mut self, step: u64) -> Vec<FaultCmd>;
+}
+
+/// The trivial [`ScheduleFaults`]: no faults, ever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl ScheduleFaults for NoFaults {
+    fn at_step(&mut self, _step: u64) -> Vec<FaultCmd> {
+        Vec::new()
+    }
+}
+
+/// Upper bound on a single pause/stall duration, so a pathological
+/// `Pause(u64::MAX)` cannot spin the scheduler forever.
+pub const MAX_IDLE_TICKS: u64 = 1 << 16;
+
+/// Result of a controlled scheduled run.
+#[derive(Debug, Clone)]
+pub struct ControlledRun {
+    /// The recorded execution (crashed processes leave pending operations).
+    pub execution: RecordedExecution,
+    /// Processes crashed by a [`FaultCmd::Crash`], in crash order. Each has
+    /// exactly one pending operation in the history, unless it was already
+    /// exhausted when the crash arrived.
+    pub crashed: Vec<usize>,
+    /// Total scheduler steps taken (grants plus idle ticks).
+    pub steps: u64,
+}
+
+/// Per-process scheduler state of a controlled run.
+struct ProcState {
+    phase: Phase,
+    /// Pulled from the source but not yet invoked.
+    next: Option<Operation>,
+    exhausted: bool,
+    crashed: bool,
+    /// A crash arrived while idle: die right after the next invocation logs.
+    crash_on_invoke: bool,
+    /// Stalled or pausing until this scheduler step.
+    wake_at: u64,
+}
+
+impl ProcState {
+    fn live(&self) -> bool {
+        !(self.crashed
+            || self.exhausted && self.next.is_none() && matches!(self.phase, Phase::Idle))
+    }
+}
+
+/// [`record_scheduled`] with **pull-based operations and fault injection**: the
+/// deterministic seeded scheduler, extended with per-step [`ScheduleFaults`]
+/// hooks (process crash mid-operation, stall/pause) and an [`OpSource`] in
+/// place of a pre-computed [`Workload`].
+///
+/// The interleaving is bit-for-bit reproducible from `(source, processes,
+/// schedule_seed, faults)`: the RNG is consumed exactly once per grant, fault
+/// hooks run at every step, and pauses/stalls advance the step counter without
+/// touching the RNG. With [`NoFaults`] and a
+/// [`WorkloadSource`](crate::workload::WorkloadSource) the recorded history is
+/// identical to [`record_scheduled`]'s (property-tested below), so scenario
+/// runs and plain seeded runs share one scheduler semantics.
+pub fn record_scheduled_controlled(
+    object: &(impl ConcurrentObject + ?Sized),
+    source: &mut dyn OpSource,
+    processes: usize,
+    schedule_seed: u64,
+    faults: &mut dyn ScheduleFaults,
+    sink: Option<&dyn EventSink>,
+) -> ControlledRun {
+    let log = EventLog::new(sink);
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(schedule_seed);
+    let mut procs: Vec<ProcState> = (0..processes)
+        .map(|_| ProcState {
+            phase: Phase::Idle,
+            next: None,
+            exhausted: false,
+            crashed: false,
+            crash_on_invoke: false,
+            wake_at: 0,
+        })
+        .collect();
+    let mut crashed = Vec::new();
+    let mut operations = 0usize;
+    let mut step: u64 = 0;
+    loop {
+        for cmd in faults.at_step(step) {
+            match cmd {
+                FaultCmd::Crash(p) if p < processes && !procs[p].crashed => {
+                    if matches!(procs[p].phase, Phase::Idle) {
+                        procs[p].crash_on_invoke = true;
+                    } else {
+                        procs[p].crashed = true;
+                        crashed.push(p);
+                    }
+                }
+                FaultCmd::Stall(p, ticks) if p < processes => {
+                    let until = step.saturating_add(ticks.clamp(1, MAX_IDLE_TICKS));
+                    procs[p].wake_at = procs[p].wake_at.max(until);
+                }
+                _ => {}
+            }
+        }
+        // Refill: awake idle processes pull their next step from the source.
+        // Pauses are consumed here (extending `wake_at`) so a paused process
+        // simply drops out of the enabled set below.
+        for (p, state) in procs.iter_mut().enumerate() {
+            let ready = !state.crashed
+                && !state.exhausted
+                && state.next.is_none()
+                && matches!(state.phase, Phase::Idle)
+                && step >= state.wake_at;
+            if !ready {
+                continue;
+            }
+            match source.next_step(p) {
+                None => state.exhausted = true,
+                Some(SourceStep::Invoke(op)) => state.next = Some(op),
+                Some(SourceStep::Pause(ticks)) => {
+                    state.wake_at = step.saturating_add(ticks.clamp(1, MAX_IDLE_TICKS));
+                }
+            }
+        }
+        let enabled: Vec<usize> = (0..processes)
+            .filter(|&p| {
+                let state = &procs[p];
+                !state.crashed
+                    && step >= state.wake_at
+                    && (!matches!(state.phase, Phase::Idle) || state.next.is_some())
+            })
+            .collect();
+        if enabled.is_empty() {
+            // Nothing runnable: done, unless someone is merely stalled/paused —
+            // then tick the clock forward (no RNG consumption on idle ticks).
+            if procs.iter().any(ProcState::live) {
+                step += 1;
+                continue;
+            }
+            break;
+        }
+        let process_index = enabled[rng.gen_range(0..enabled.len())];
+        let process = ProcessId::new(process_index as u32);
+        let state = &mut procs[process_index];
+        state.phase = match std::mem::replace(&mut state.phase, Phase::Idle) {
+            Phase::Idle => {
+                let op = state.next.take().expect("enabled idle process has an op");
+                let id = log.fresh_op();
+                log.log_invocation(process, id, &op);
+                if state.crash_on_invoke {
+                    state.crashed = true;
+                    crashed.push(process_index);
+                }
+                Phase::Invoked(id, op)
+            }
+            Phase::Invoked(id, op) => {
+                let value = object.apply(process, &op);
+                Phase::Applied(id, value)
+            }
+            Phase::Applied(id, value) => {
+                log.log_response(process, id, &value);
+                operations += 1;
+                Phase::Idle
+            }
+        };
+        step += 1;
+    }
+    ControlledRun {
+        execution: RecordedExecution {
+            history: History::from_events(log.events.into_inner()),
+            duration: started.elapsed(),
+            operations,
+        },
+        crashed,
+        steps: step,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +660,120 @@ mod tests {
             assert_eq!(crate::impls::spec_object(kind).kind(), kind);
             assert_eq!(crate::faulty::faulty_object(kind, 3).kind(), kind);
         }
+    }
+
+    #[test]
+    fn controlled_scheduler_with_no_faults_matches_record_scheduled() {
+        use crate::workload::WorkloadSource;
+        for (seed, schedule) in [(42, 42), (7, 1), (0, 999)] {
+            let options = RecorderOptions {
+                processes: 3,
+                ops_per_process: 30,
+            };
+            let workload = Workload::new(WorkloadKind::Queue, seed);
+            let queue = MsQueue::new();
+            let plain = record_scheduled(&queue, workload, options, schedule);
+            let queue = MsQueue::new();
+            let mut source = WorkloadSource::new(&workload, 3, 30);
+            let controlled =
+                record_scheduled_controlled(&queue, &mut source, 3, schedule, &mut NoFaults, None);
+            assert_eq!(plain.history, controlled.execution.history);
+            assert_eq!(plain.operations, controlled.execution.operations);
+            assert!(controlled.crashed.is_empty());
+        }
+    }
+
+    /// A fixed schedule of fault commands, keyed by step.
+    struct At(Vec<(u64, FaultCmd)>);
+
+    impl ScheduleFaults for At {
+        fn at_step(&mut self, step: u64) -> Vec<FaultCmd> {
+            self.0
+                .iter()
+                .filter(|(s, _)| *s == step)
+                .map(|(_, cmd)| *cmd)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn crashing_a_process_leaves_exactly_one_pending_operation() {
+        use crate::workload::WorkloadSource;
+        let workload = Workload::new(WorkloadKind::Queue, 5);
+        let queue = SpecObject::new(QueueSpec::new());
+        let mut source = WorkloadSource::new(&workload, 3, 20);
+        let mut faults = At(vec![(10, FaultCmd::Crash(1))]);
+        let run = record_scheduled_controlled(&queue, &mut source, 3, 5, &mut faults, None);
+        assert_eq!(run.crashed, vec![1]);
+        let pending: Vec<_> = run.execution.history.pending_operations().collect();
+        assert_eq!(pending.len(), 1, "crash mid-op leaves one pending op");
+        assert_eq!(pending[0].process.index(), 1);
+        assert!(run.execution.history.is_well_formed());
+        // The survivors finish their full sequences.
+        assert!(LinSpec::new(QueueSpec::new()).contains(&run.execution.history));
+    }
+
+    #[test]
+    fn stalls_and_pauses_keep_runs_deterministic_and_complete() {
+        use crate::workload::WorkloadSource;
+        let histories: Vec<History> = (0..2)
+            .map(|_| {
+                let workload = Workload::new(WorkloadKind::Stack, 9);
+                let stack = TreiberStack::new();
+                let mut source = WorkloadSource::new(&workload, 2, 15);
+                let mut faults = At(vec![
+                    (3, FaultCmd::Stall(0, 17)),
+                    (20, FaultCmd::Stall(1, 5)),
+                ]);
+                record_scheduled_controlled(&stack, &mut source, 2, 9, &mut faults, None)
+                    .execution
+                    .history
+            })
+            .collect();
+        assert_eq!(histories[0], histories[1]);
+        assert_eq!(histories[0].pending_operations().count(), 0);
+        assert!(LinSpec::new(StackSpec::new()).contains(&histories[0]));
+        // Stalling changed the interleaving relative to a fault-free run.
+        let workload = Workload::new(WorkloadKind::Stack, 9);
+        let stack = TreiberStack::new();
+        let mut source = WorkloadSource::new(&workload, 2, 15);
+        let plain = record_scheduled_controlled(&stack, &mut source, 2, 9, &mut NoFaults, None);
+        assert_ne!(histories[0], plain.execution.history);
+    }
+
+    #[test]
+    fn pauses_from_the_source_are_honoured() {
+        struct Pausing {
+            emitted: usize,
+        }
+        impl OpSource for Pausing {
+            fn next_step(&mut self, process: usize) -> Option<SourceStep> {
+                if process != 0 || self.emitted >= 4 {
+                    return None;
+                }
+                self.emitted += 1;
+                Some(if self.emitted == 2 {
+                    SourceStep::Pause(50)
+                } else {
+                    SourceStep::Invoke(
+                        crate::workload::Workload::new(WorkloadKind::Counter, 1)
+                            .operations_for(0, 1)[0]
+                            .clone(),
+                    )
+                })
+            }
+        }
+        let counter = AtomicCounter::new();
+        let mut source = Pausing { emitted: 0 };
+        let run = record_scheduled_controlled(&counter, &mut source, 1, 3, &mut NoFaults, None);
+        // 3 Invokes and 1 Pause: all operations complete, and the pause shows
+        // up as idle scheduler ticks (steps > 3 ops * 3 grants).
+        assert_eq!(run.execution.operations, 3);
+        assert!(
+            run.steps > 9 + 49,
+            "pause must cost idle ticks: {}",
+            run.steps
+        );
     }
 
     #[test]

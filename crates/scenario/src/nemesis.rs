@@ -1,0 +1,302 @@
+//! Seeded nemeses: replayable fault schedules against the runtime and pool.
+//!
+//! A [`Nemesis`] turns a scenario seed and run shape into a [`FaultPlan`] — a
+//! list of scheduler fault commands (crash, stall), an optional response
+//! corruption period (routing the run through the existing `faulty::*`
+//! wrappers), and an optional session-churn plan for pool-targeted scenarios.
+//! Plans are pure functions of `(seed, shape)`, so a sweep replays bit for bit.
+
+use linrv_runtime::{FaultCmd, ScheduleFaults, MAX_IDLE_TICKS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape of a run a nemesis plans against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunShape {
+    /// Number of processes.
+    pub processes: usize,
+    /// Operations each process performs.
+    pub ops_per_process: usize,
+}
+
+impl RunShape {
+    /// Total operations across all processes.
+    pub fn total_ops(&self) -> u64 {
+        self.processes as u64 * self.ops_per_process as u64
+    }
+
+    /// Scheduler steps a fault-free run takes: three per operation
+    /// (log-invocation, apply, log-response).
+    pub fn total_steps(&self) -> u64 {
+        3 * self.total_ops()
+    }
+}
+
+/// Session-recycling churn against a [`linrv_pool::MonitorPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// Drop and re-open a process's pool session every this many of its
+    /// operations (exercising registry slot recycling).
+    pub recycle_every: usize,
+    /// Additionally crash one session mid-operation (stage, never commit, then
+    /// drop — exercising slot *retirement*).
+    pub crash_one: bool,
+}
+
+/// A nemesis's complete, replayable fault schedule for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Scheduler fault commands, applied at their step (see
+    /// [`record_scheduled_controlled`](linrv_runtime::record_scheduled_controlled)).
+    pub commands: Vec<(u64, FaultCmd)>,
+    /// Corrupt every n-th response via
+    /// [`MutatedObject`](linrv_runtime::faulty::MutatedObject) when set.
+    pub inject_every: Option<u64>,
+    /// Pool session churn when the scenario targets a pool.
+    pub churn: Option<ChurnPlan>,
+}
+
+/// A seeded fault-schedule producer.
+pub trait Nemesis {
+    /// Short name for scenario labels and reports.
+    fn name(&self) -> &'static str;
+
+    /// The plan for a run of `shape` under `seed`. Must be a pure function of
+    /// its arguments (sweeps replay plans bit for bit).
+    fn plan(&self, seed: u64, shape: RunShape) -> FaultPlan;
+}
+
+fn nemesis_rng(seed: u64) -> StdRng {
+    // Decorrelate from the workload and interleaving streams.
+    StdRng::seed_from_u64(seed ^ 0x00BA_D5EE_D0DD_BA11)
+}
+
+/// No faults, ever: the baseline every other nemesis is compared against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuietNemesis;
+
+impl Nemesis for QuietNemesis {
+    fn name(&self) -> &'static str {
+        "quiet"
+    }
+
+    fn plan(&self, _seed: u64, _shape: RunShape) -> FaultPlan {
+        FaultPlan::default()
+    }
+}
+
+/// Crashes `victims` distinct processes mid-operation at seeded steps in the
+/// middle half of the run, leaving their announced invocations pending forever
+/// (the paper's crashed processes; drives the `Session` slot-retirement path
+/// when replayed against a monitor).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashNemesis {
+    /// How many processes to crash (clamped to leave one process alive).
+    pub victims: usize,
+}
+
+impl Nemesis for CrashNemesis {
+    fn name(&self) -> &'static str {
+        "crash"
+    }
+
+    fn plan(&self, seed: u64, shape: RunShape) -> FaultPlan {
+        let mut rng = nemesis_rng(seed);
+        let victims = self.victims.min(shape.processes.saturating_sub(1));
+        let mut alive: Vec<usize> = (0..shape.processes).collect();
+        let steps = shape.total_steps().max(4);
+        let mut commands = Vec::new();
+        for _ in 0..victims {
+            let pick = rng.gen_range(0..alive.len() as i64) as usize;
+            let victim = alive.swap_remove(pick);
+            let step = steps / 4 + rng.gen_range(0..(steps / 2).max(1) as i64) as u64;
+            commands.push((step, FaultCmd::Crash(victim)));
+        }
+        FaultPlan {
+            commands,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Stalls one or two processes for long stretches (stretching their intervals,
+/// as in Figures 5–6 of the paper) without crashing anyone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StallNemesis;
+
+impl Nemesis for StallNemesis {
+    fn name(&self) -> &'static str {
+        "stall"
+    }
+
+    fn plan(&self, seed: u64, shape: RunShape) -> FaultPlan {
+        let mut rng = nemesis_rng(seed);
+        let steps = shape.total_steps().max(4);
+        let stalls = 1 + rng.gen_range(0..2) as usize;
+        let mut commands = Vec::new();
+        for _ in 0..stalls {
+            let victim = rng.gen_range(0..shape.processes as i64) as usize;
+            let step = rng.gen_range(0..(3 * steps / 4).max(1) as i64) as u64;
+            let ticks = (steps / 3).clamp(1, MAX_IDLE_TICKS);
+            commands.push((step, FaultCmd::Stall(victim, ticks)));
+        }
+        FaultPlan {
+            commands,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Routes the run through the kind's response-corrupting wrapper
+/// ([`MutatedObject`](linrv_runtime::faulty::MutatedObject)), corrupting every
+/// n-th response: the scenarios a fuzz sweep is *expected* to catch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InjectNemesis;
+
+impl Nemesis for InjectNemesis {
+    fn name(&self) -> &'static str {
+        "inject"
+    }
+
+    fn plan(&self, _seed: u64, shape: RunShape) -> FaultPlan {
+        // At least two corruptions per run on the quick budget, and never a
+        // period beyond the run (which would label the scenario faulty while
+        // corrupting nothing).
+        let every = (shape.total_ops() / 6).clamp(2, shape.total_ops().max(2));
+        FaultPlan {
+            inject_every: Some(every),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Pool-targeted churn: sessions are dropped and re-opened throughout the run
+/// (registry slot recycling), and one is crashed mid-operation (slot
+/// retirement). The monitor must converge with no false violation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChurnNemesis;
+
+impl Nemesis for ChurnNemesis {
+    fn name(&self) -> &'static str {
+        "churn"
+    }
+
+    fn plan(&self, seed: u64, shape: RunShape) -> FaultPlan {
+        let mut rng = nemesis_rng(seed);
+        FaultPlan {
+            churn: Some(ChurnPlan {
+                recycle_every: (shape.ops_per_process / 3).max(2),
+                crash_one: rng.gen_bool(0.75),
+            }),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Replays a [`FaultPlan`]'s commands into the controlled scheduler.
+#[derive(Debug)]
+pub struct PlannedFaults {
+    commands: Vec<(u64, FaultCmd)>,
+    next: usize,
+}
+
+impl PlannedFaults {
+    /// Sorts the plan's commands by step for in-order replay.
+    pub fn new(mut commands: Vec<(u64, FaultCmd)>) -> Self {
+        commands.sort_by_key(|(step, _)| *step);
+        PlannedFaults { commands, next: 0 }
+    }
+}
+
+impl ScheduleFaults for PlannedFaults {
+    fn at_step(&mut self, step: u64) -> Vec<FaultCmd> {
+        let mut due = Vec::new();
+        while let Some((at, cmd)) = self.commands.get(self.next) {
+            if *at > step {
+                break;
+            }
+            due.push(*cmd);
+            self.next += 1;
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: RunShape = RunShape {
+        processes: 4,
+        ops_per_process: 25,
+    };
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_shape() {
+        let nemeses: [&dyn Nemesis; 5] = [
+            &QuietNemesis,
+            &CrashNemesis { victims: 2 },
+            &StallNemesis,
+            &InjectNemesis,
+            &ChurnNemesis,
+        ];
+        for nemesis in nemeses {
+            assert_eq!(
+                nemesis.plan(42, SHAPE),
+                nemesis.plan(42, SHAPE),
+                "{} must replay",
+                nemesis.name()
+            );
+        }
+    }
+
+    #[test]
+    fn crash_nemesis_leaves_a_process_alive_and_victims_distinct() {
+        let plan = CrashNemesis { victims: 10 }.plan(7, SHAPE);
+        let victims: Vec<usize> = plan
+            .commands
+            .iter()
+            .map(|(_, cmd)| match cmd {
+                FaultCmd::Crash(p) => *p,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(victims.len(), SHAPE.processes - 1);
+        let mut unique = victims.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), victims.len(), "victims must be distinct");
+    }
+
+    #[test]
+    fn inject_period_fits_the_run() {
+        let plan = InjectNemesis.plan(0, SHAPE);
+        let every = plan.inject_every.unwrap();
+        assert!(every >= 2 && every <= SHAPE.total_ops());
+        let tiny = InjectNemesis.plan(
+            0,
+            RunShape {
+                processes: 3,
+                ops_per_process: 1,
+            },
+        );
+        assert_eq!(tiny.inject_every, Some(2));
+    }
+
+    #[test]
+    fn planned_faults_fire_in_step_order() {
+        let mut faults = PlannedFaults::new(vec![
+            (9, FaultCmd::Crash(1)),
+            (2, FaultCmd::Stall(0, 5)),
+            (9, FaultCmd::Crash(2)),
+        ]);
+        assert_eq!(faults.at_step(0), vec![]);
+        assert_eq!(faults.at_step(2), vec![FaultCmd::Stall(0, 5)]);
+        assert_eq!(faults.at_step(8), vec![]);
+        assert_eq!(
+            faults.at_step(9),
+            vec![FaultCmd::Crash(1), FaultCmd::Crash(2)]
+        );
+        assert_eq!(faults.at_step(100), vec![]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Scenario derivation: one seeded point in the kinds × generators × nemeses
+//! grid.
+//!
+//! A [`Scenario`] is pure data — derived deterministically from a sweep's
+//! master seed and the scenario index — so any scenario from a report can be
+//! re-derived and re-run in isolation. The derivation cycles object kinds and
+//! nemeses on coprime periods (7 and 5), guaranteeing every combination
+//! appears within 35 scenarios and every nemesis within the first 5.
+
+use crate::generator::{drain, fill, mix, op_mix, seq, stagger, take, BoxGenerator};
+use crate::nemesis::{
+    ChurnNemesis, CrashNemesis, InjectNemesis, Nemesis, QuietNemesis, RunShape, StallNemesis,
+};
+use linrv_runtime::{Mix, WorkloadKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Which generator family a scenario drives each process with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneratorKind {
+    /// The kind's default op mix, uniformly interleaved.
+    Uniform,
+    /// A skewed op-ratio mix (mutators dominate).
+    Weighted,
+    /// Phased: fill the object first, then drain it.
+    FillThenDrain,
+    /// Hot-key skew over a small key range (bites on keyed kinds).
+    HotKey,
+    /// Bursts of operations separated by quiescent pauses.
+    Bursty,
+    /// Heterogeneous processes: even processes fill, odd processes drain.
+    PerProcess,
+}
+
+impl GeneratorKind {
+    const ALL: [GeneratorKind; 6] = [
+        GeneratorKind::Uniform,
+        GeneratorKind::Weighted,
+        GeneratorKind::FillThenDrain,
+        GeneratorKind::HotKey,
+        GeneratorKind::Bursty,
+        GeneratorKind::PerProcess,
+    ];
+}
+
+impl fmt::Display for GeneratorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GeneratorKind::Uniform => "uniform",
+            GeneratorKind::Weighted => "weighted",
+            GeneratorKind::FillThenDrain => "fill-drain",
+            GeneratorKind::HotKey => "hot-key",
+            GeneratorKind::Bursty => "bursty",
+            GeneratorKind::PerProcess => "per-process",
+        })
+    }
+}
+
+/// Which nemesis a scenario runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NemesisKind {
+    /// No faults.
+    Quiet,
+    /// Crash processes mid-operation.
+    Crash,
+    /// Stall processes (interval stretching).
+    Stall,
+    /// Corrupt responses via the kind's `faulty::*` wrapper — the scenarios a
+    /// sweep is expected to catch.
+    Inject,
+    /// Pool session recycling/retirement churn.
+    Churn,
+}
+
+impl NemesisKind {
+    const CYCLE: [NemesisKind; 5] = [
+        NemesisKind::Quiet,
+        NemesisKind::Crash,
+        NemesisKind::Stall,
+        NemesisKind::Inject,
+        NemesisKind::Churn,
+    ];
+}
+
+impl fmt::Display for NemesisKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NemesisKind::Quiet => "quiet",
+            NemesisKind::Crash => "crash",
+            NemesisKind::Stall => "stall",
+            NemesisKind::Inject => "inject",
+            NemesisKind::Churn => "churn",
+        })
+    }
+}
+
+/// Where a scenario executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// The deterministic controlled scheduler
+    /// ([`record_scheduled_controlled`](linrv_runtime::record_scheduled_controlled)).
+    Scheduler,
+    /// A [`linrv_pool::MonitorPool`] driven through pool sessions.
+    Pool,
+}
+
+/// The run shape a sweep derives scenarios against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepShape {
+    /// Processes per scenario.
+    pub processes: usize,
+    /// Operations per process.
+    pub ops_per_process: usize,
+}
+
+/// One derived scenario: pure data, replayable in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Index within the sweep.
+    pub index: usize,
+    /// This scenario's own seed (derived from the sweep's master seed).
+    pub seed: u64,
+    /// The workload/object kind.
+    pub kind: WorkloadKind,
+    /// Processes.
+    pub processes: usize,
+    /// Operations per process (consensus runs are capped at one).
+    pub ops_per_process: usize,
+    /// Generator family.
+    pub generator: GeneratorKind,
+    /// Nemesis.
+    pub nemesis: NemesisKind,
+}
+
+impl Scenario {
+    /// Derives scenario `index` of a sweep with `master_seed` and `shape`.
+    ///
+    /// Kinds cycle with period 7 and nemeses with period 5 (coprime, so all 35
+    /// combinations appear over a long enough sweep); the generator family and
+    /// the per-scenario seed are drawn from an index-keyed RNG. Two
+    /// constraints re-route incompatible picks: `inject` never runs on sets
+    /// (a flipped boolean response can still be linearizable, so detection
+    /// would not be guaranteed) and `churn` never runs on consensus (one-shot
+    /// operations leave nothing to recycle).
+    pub fn derive(master_seed: u64, index: usize, shape: SweepShape) -> Scenario {
+        let kinds = [
+            WorkloadKind::Queue,
+            WorkloadKind::Stack,
+            WorkloadKind::Set,
+            WorkloadKind::PriorityQueue,
+            WorkloadKind::Counter,
+            WorkloadKind::Register,
+            WorkloadKind::Consensus,
+        ];
+        let kind = kinds[index % kinds.len()];
+        let mut rng =
+            StdRng::seed_from_u64(master_seed ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let generator =
+            GeneratorKind::ALL[rng.gen_range(0..GeneratorKind::ALL.len() as i64) as usize];
+        let nemesis = match NemesisKind::CYCLE[index % NemesisKind::CYCLE.len()] {
+            NemesisKind::Inject if kind == WorkloadKind::Set => NemesisKind::Crash,
+            NemesisKind::Churn if kind == WorkloadKind::Consensus => NemesisKind::Stall,
+            picked => picked,
+        };
+        let seed = rng.gen_range(0..i64::MAX) as u64 ^ master_seed.rotate_left(17);
+        let ops_per_process = if kind == WorkloadKind::Consensus {
+            1
+        } else {
+            shape.ops_per_process
+        };
+        Scenario {
+            index,
+            seed,
+            kind,
+            processes: shape.processes,
+            ops_per_process,
+            generator,
+            nemesis,
+        }
+    }
+
+    /// The run shape nemeses plan against.
+    pub fn shape(&self) -> RunShape {
+        RunShape {
+            processes: self.processes,
+            ops_per_process: self.ops_per_process,
+        }
+    }
+
+    /// Where this scenario executes: `churn` targets a pool, everything else
+    /// the controlled scheduler.
+    pub fn target(&self) -> Target {
+        if self.nemesis == NemesisKind::Churn {
+            Target::Pool
+        } else {
+            Target::Scheduler
+        }
+    }
+
+    /// `true` when the sweep is *expected* to catch a violation here (a
+    /// response-corrupting wrapper is injected).
+    pub fn expect_violation(&self) -> bool {
+        self.nemesis == NemesisKind::Inject
+    }
+
+    /// The scenario's human-readable label, recorded in trace headers:
+    /// `kind/generator/nemesis`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.kind.object_kind(),
+            self.generator,
+            self.nemesis
+        )
+    }
+
+    /// Builds this scenario's nemesis.
+    pub fn nemesis(&self) -> Box<dyn Nemesis> {
+        match self.nemesis {
+            NemesisKind::Quiet => Box::new(QuietNemesis),
+            NemesisKind::Crash => Box::new(CrashNemesis {
+                victims: (self.processes / 2).max(1),
+            }),
+            NemesisKind::Stall => Box::new(StallNemesis),
+            NemesisKind::Inject => Box::new(InjectNemesis),
+            NemesisKind::Churn => Box::new(ChurnNemesis),
+        }
+    }
+
+    /// Builds one generator per process, each budgeted to the scenario's
+    /// per-process operation count.
+    pub fn generators(&self) -> Vec<BoxGenerator> {
+        (0..self.processes)
+            .map(|process| take(self.base_generator(process), self.ops_per_process))
+            .collect()
+    }
+
+    fn base_generator(&self, process: usize) -> BoxGenerator {
+        let kind = self.kind;
+        let default = Mix::default_for(kind);
+        match self.generator {
+            GeneratorKind::Uniform => op_mix(kind, default),
+            GeneratorKind::Weighted => {
+                // Mutators dominate 3:1 (and contains stays rare on sets).
+                op_mix(kind, default.with_weights([3, 1, 1]))
+            }
+            GeneratorKind::FillThenDrain => seq(vec![
+                take(fill(kind), self.ops_per_process.div_ceil(2)),
+                drain(kind),
+            ]),
+            GeneratorKind::HotKey => op_mix(kind, default.with_key_range(4).with_skew(2.0)),
+            GeneratorKind::Bursty => stagger(op_mix(kind, default), 3, 16),
+            GeneratorKind::PerProcess => {
+                if process % 2 == 0 {
+                    fill(kind)
+                } else {
+                    // Odd processes mostly drain but still mutate occasionally,
+                    // keeping the interleaving interesting.
+                    mix(vec![(1, fill(kind)), (4, drain(kind))])
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: SweepShape = SweepShape {
+        processes: 3,
+        ops_per_process: 12,
+    };
+
+    #[test]
+    fn derivation_is_deterministic() {
+        for index in 0..40 {
+            assert_eq!(
+                Scenario::derive(42, index, SHAPE),
+                Scenario::derive(42, index, SHAPE)
+            );
+        }
+        assert_ne!(
+            Scenario::derive(42, 0, SHAPE).seed,
+            Scenario::derive(43, 0, SHAPE).seed
+        );
+    }
+
+    #[test]
+    fn every_nemesis_and_kind_appears_early() {
+        let scenarios: Vec<Scenario> = (0..35).map(|i| Scenario::derive(7, i, SHAPE)).collect();
+        for nemesis in NemesisKind::CYCLE {
+            assert!(
+                scenarios.iter().any(|s| s.nemesis == nemesis),
+                "{nemesis} missing"
+            );
+        }
+        for kind in [WorkloadKind::Queue, WorkloadKind::Consensus] {
+            assert!(scenarios.iter().any(|s| s.kind == kind));
+        }
+    }
+
+    #[test]
+    fn incompatible_picks_are_rerouted() {
+        for index in 0..200 {
+            let s = Scenario::derive(99, index, SHAPE);
+            if s.kind == WorkloadKind::Set {
+                assert_ne!(s.nemesis, NemesisKind::Inject, "inject on set at {index}");
+            }
+            if s.kind == WorkloadKind::Consensus {
+                assert_ne!(
+                    s.nemesis,
+                    NemesisKind::Churn,
+                    "churn on consensus at {index}"
+                );
+                assert_eq!(s.ops_per_process, 1);
+            }
+            assert_eq!(s.target() == Target::Pool, s.nemesis == NemesisKind::Churn);
+        }
+    }
+
+    #[test]
+    fn labels_name_the_whole_recipe() {
+        let s = Scenario {
+            index: 0,
+            seed: 1,
+            kind: WorkloadKind::PriorityQueue,
+            processes: 3,
+            ops_per_process: 12,
+            generator: GeneratorKind::FillThenDrain,
+            nemesis: NemesisKind::Stall,
+        };
+        assert_eq!(s.label(), "priority-queue/fill-drain/stall");
+    }
+
+    #[test]
+    fn generators_cover_every_process() {
+        let s = Scenario::derive(3, 5, SHAPE);
+        assert_eq!(s.generators().len(), SHAPE.processes);
+    }
+}

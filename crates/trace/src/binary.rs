@@ -75,6 +75,9 @@ pub(crate) fn encode_header(out: &mut Vec<u8>, header: &TraceHeader) -> Result<(
     if header.objects.is_some() {
         flags |= 16;
     }
+    if header.scenario.is_some() {
+        flags |= 32;
+    }
     payload.push(flags);
     if let Some(seed) = header.seed {
         payload.extend_from_slice(&seed.to_le_bytes());
@@ -90,6 +93,9 @@ pub(crate) fn encode_header(out: &mut Vec<u8>, header: &TraceHeader) -> Result<(
     }
     if let Some(objects) = header.objects {
         payload.extend_from_slice(&objects.to_le_bytes());
+    }
+    if let Some(scenario) = &header.scenario {
+        encode_str(&mut payload, scenario);
     }
     push_frame(out, &payload, "header")
 }
@@ -321,6 +327,9 @@ pub(crate) fn decode_header(payload: &[u8], location: &str) -> Result<TraceHeade
     if flags & 16 != 0 {
         header.objects = Some(cursor.u64()?);
     }
+    if flags & 32 != 0 {
+        header.scenario = Some(cursor.str()?);
+    }
     cursor.finish()?;
     Ok(header)
 }
@@ -475,7 +484,8 @@ mod tests {
                 .with_ops_per_process(1000)
                 .with_implementation("stale-register")
                 .with_provenance(Provenance::Faulty)
-                .with_objects(1 << 20),
+                .with_objects(1 << 20)
+                .with_scenario("register/bursty/crash0"),
         ] {
             let mut bytes = Vec::new();
             encode_header(&mut bytes, &header).unwrap();

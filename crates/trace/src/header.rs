@@ -105,6 +105,11 @@ pub struct TraceHeader {
     /// Number of distinct objects in a multi-object trace whose events carry
     /// per-object tags (see `FORMAT.md`); `None` for single-object traces.
     pub objects: Option<u64>,
+    /// Free-form scenario label for traces produced by the scenario engine
+    /// (`linrv fuzz`): which generator, nemesis and shape produced the run, so
+    /// a failing trace names its reproduction recipe. Advisory, like
+    /// `implementation`.
+    pub scenario: Option<String>,
 }
 
 impl TraceHeader {
@@ -118,6 +123,7 @@ impl TraceHeader {
             implementation: None,
             provenance: Provenance::Unknown,
             objects: None,
+            scenario: None,
         }
     }
 
@@ -157,6 +163,12 @@ impl TraceHeader {
         self.objects = Some(objects);
         self
     }
+
+    /// Sets the scenario label (builder style).
+    pub fn with_scenario(mut self, scenario: impl Into<String>) -> Self {
+        self.scenario = Some(scenario.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +183,8 @@ mod tests {
             .with_ops_per_process(50)
             .with_implementation("ms-queue")
             .with_provenance(Provenance::Correct)
-            .with_objects(1000);
+            .with_objects(1000)
+            .with_scenario("queue/fill-drain/crash1");
         assert_eq!(header.kind, ObjectKind::Queue);
         assert_eq!(header.seed, Some(42));
         assert_eq!(header.processes, Some(3));
@@ -179,6 +192,7 @@ mod tests {
         assert_eq!(header.implementation.as_deref(), Some("ms-queue"));
         assert_eq!(header.provenance, Provenance::Correct);
         assert_eq!(header.objects, Some(1000));
+        assert_eq!(header.scenario.as_deref(), Some("queue/fill-drain/crash1"));
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub(crate) fn encode_header(header: &TraceHeader) -> String {
     if let Some(objects) = header.objects {
         let _ = write!(out, ",\"objects\":{objects}");
     }
+    if let Some(scenario) = &header.scenario {
+        out.push_str(",\"scenario\":");
+        write_escaped(&mut out, scenario);
+    }
     let _ = write!(out, ",\"provenance\":\"{}\"}}", header.provenance);
     out
 }
@@ -87,6 +91,14 @@ pub(crate) fn decode_header(line: &str, location: &str) -> Result<TraceHeader, T
             objects
                 .as_u64()
                 .ok_or_else(|| TraceError::malformed(location, "\"objects\" must be a u64"))?,
+        );
+    }
+    if let Some(scenario) = value.get("scenario") {
+        header.scenario = Some(
+            scenario
+                .as_str()
+                .ok_or_else(|| TraceError::malformed(location, "\"scenario\" must be a string"))?
+                .to_owned(),
         );
     }
     if let Some(provenance) = value.get("provenance") {
@@ -307,7 +319,8 @@ mod tests {
             .with_ops_per_process(100)
             .with_implementation("spec \"quoted\" name")
             .with_provenance(Provenance::Faulty)
-            .with_objects(10_000);
+            .with_objects(10_000)
+            .with_scenario("pq/hot-key \"skew\"/stall");
         let line = encode_header(&full);
         assert_eq!(decode_header(&line, "test").unwrap(), full);
 
