@@ -1,0 +1,76 @@
+//! Observability satellite: recording must be paid for only when switched on.
+//!
+//! Two claims are measured. First, the primitives themselves are cheap: a
+//! striped counter increment and a histogram record are a handful of relaxed
+//! RMWs, and the `enabled()` kill switch is a single relaxed load. Second,
+//! and the one the tier-1 gate in `tests-integration/tests/obs.rs` enforces:
+//! the **default-off** configuration leaves the instrumented session hot path
+//! within noise of itself — the identical counter workload is timed with
+//! recording off and on, so the difference between the two measurements is
+//! exactly the per-operation recording cost (`linrv_session_op_ns`,
+//! `linrv_drv_*` timings and the verdict counters).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linrv::prelude::*;
+use linrv::runtime::impls::AtomicCounter;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E17_obs_overhead_session");
+
+    for on in [false, true] {
+        let label = if on { "metrics_on" } else { "metrics_off" };
+        group.bench_function(label, |b| {
+            let effective = linrv_obs::set_enabled(on);
+            assert_eq!(
+                effective, on,
+                "bench requires the default build (no compile-off feature)"
+            );
+            b.iter_batched(
+                || {
+                    let monitor = Monitor::builder(CounterSpec::new())
+                        .processes(1)
+                        .build(AtomicCounter::new());
+                    let session = monitor.register().expect("fresh monitor has a free slot");
+                    (monitor, session)
+                },
+                |(_monitor, session)| {
+                    for _ in 0..8 {
+                        session.inc().expect("a correct counter is never rejected");
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+            linrv_obs::set_enabled(false);
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("E17_obs_primitives");
+    let counter = linrv_obs::Counter::standalone();
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let histogram = linrv_obs::Histogram::standalone();
+    let mut sample = 0u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            sample = sample.wrapping_add(0x9E37_79B9);
+            histogram.record(sample & 0xFFFF);
+        });
+    });
+    group.bench_function("enabled_check", |b| b.iter(linrv_obs::enabled));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

@@ -41,6 +41,7 @@
 
 pub mod genlin;
 pub mod linearizability;
+pub mod metrics;
 pub mod partitioned;
 pub mod setlin;
 pub mod specialized;

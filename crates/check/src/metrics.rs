@@ -1,0 +1,35 @@
+//! Streaming-checker metrics: how often and how expensively the consumed
+//! prefix is re-decided.
+//!
+//! The [`crate::stream`] cost model amortises the *schedule*, not the
+//! per-check work — `linrv_check_recheck_ns` makes the actual per-recheck
+//! cost visible on a live `linrv check` run, which is how the geometric
+//! schedule's O(n log n) claim becomes observable instead of folklore.
+
+use linrv_obs::{Counter, Histogram, MetricKind, Registry};
+use std::sync::OnceLock;
+
+const RECHECK_NS: &str = "linrv_check_recheck_ns";
+const RECHECK_NS_HELP: &str = "full prefix re-decision latency per scheduled re-check, nanoseconds";
+const RECHECKS: &str = "linrv_check_rechecks_total";
+const RECHECKS_HELP: &str = "scheduled prefix re-decisions run (including the final one)";
+
+/// Per-recheck latency histogram.
+pub fn recheck_ns() -> &'static Histogram {
+    static SLOT: OnceLock<Histogram> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().histogram(RECHECK_NS, RECHECK_NS_HELP))
+}
+
+/// Number of prefix re-decisions run.
+pub fn rechecks_total() -> &'static Counter {
+    static SLOT: OnceLock<Counter> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().counter(RECHECKS, RECHECKS_HELP))
+}
+
+/// Declares the checker families in the global registry so exports list
+/// them even before any recording.
+pub fn declare() {
+    let registry = Registry::global();
+    registry.declare(RECHECK_NS, MetricKind::Histogram, RECHECK_NS_HELP);
+    registry.declare(RECHECKS, MetricKind::Counter, RECHECKS_HELP);
+}

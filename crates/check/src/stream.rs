@@ -135,10 +135,22 @@ impl<S: SequentialSpec> StreamingChecker<S> {
     }
 
     fn check_now(&mut self) {
-        let verdict = self.object.check(&self.history);
+        let verdict = self.timed_check();
         if verdict.is_violation() {
             self.verdict = Some(verdict);
         }
+    }
+
+    /// Decides the consumed prefix, timing the decision into
+    /// `linrv_check_recheck_ns` when recording is enabled.
+    fn timed_check(&self) -> Verdict {
+        let span = linrv_obs::Span::start(crate::metrics::recheck_ns());
+        let verdict = self.object.check(&self.history);
+        drop(span);
+        if linrv_obs::enabled() {
+            crate::metrics::rechecks_total().inc();
+        }
+        verdict
     }
 
     /// Number of events consumed so far.
@@ -151,7 +163,7 @@ impl<S: SequentialSpec> StreamingChecker<S> {
     pub fn finish(mut self) -> (History, Verdict) {
         let verdict = match self.verdict.take() {
             Some(verdict) => verdict,
-            None => self.object.check(&self.history),
+            None => self.timed_check(),
         };
         (self.history, verdict)
     }

@@ -13,7 +13,10 @@ pub(crate) struct Parsed {
 }
 
 /// Parses `args` against the allowed `switches` (boolean flags) and `options`
-/// (flags that consume the next token as their value).
+/// (flags that consume the next token as their value). Options also accept
+/// the inline `--name=value` form; a name listed in *both* `switches` and
+/// `options` (like `--stats[=FILE]`) is a switch when bare and an option
+/// when given inline — the bare form never swallows the next positional.
 ///
 /// Unknown flags, repeated flags and options missing their value are errors —
 /// a typo must never silently fall back to a default.
@@ -26,7 +29,14 @@ pub(crate) fn parse(
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
-            if let Some(&switch) = switches.iter().find(|&&s| s == name) {
+            if let Some((key, value)) = name.split_once('=') {
+                let Some(&option) = options.iter().find(|&&o| o == key) else {
+                    return Err(format!("unknown flag --{key} (or it takes no =value)"));
+                };
+                if parsed.options.insert(option, value.to_string()).is_some() {
+                    return Err(format!("option --{option} given twice"));
+                }
+            } else if let Some(&switch) = switches.iter().find(|&&s| s == name) {
                 if parsed.switches.contains(&switch) {
                     return Err(format!("flag --{switch} given twice"));
                 }
@@ -108,6 +118,25 @@ mod tests {
         assert_eq!(parsed.get_or::<u64>("seed", 0).unwrap(), 42);
         assert_eq!(parsed.get_or::<u64>("missing", 7).unwrap(), 7);
         assert_eq!(parsed.require::<u64>("seed").unwrap(), 42);
+    }
+
+    #[test]
+    fn inline_values_and_dual_switch_options_parse() {
+        // --seed=42 is equivalent to --seed 42.
+        let parsed = parse(&args(&["--seed=42"]), &[], &["seed"]).unwrap();
+        assert_eq!(parsed.require::<u64>("seed").unwrap(), 42);
+        // A name in both lists: bare form is a switch and never consumes the
+        // following positional; inline form carries a value.
+        let parsed = parse(&args(&["--stats", "trace.jsonl"]), &["stats"], &["stats"]).unwrap();
+        assert!(parsed.has("stats"));
+        assert_eq!(parsed.get("stats"), None);
+        assert_eq!(parsed.positionals(), &["trace.jsonl".to_string()]);
+        let parsed = parse(&args(&["--stats=out.prom"]), &["stats"], &["stats"]).unwrap();
+        assert!(!parsed.has("stats"));
+        assert_eq!(parsed.get("stats"), Some("out.prom"));
+        // Inline values on pure switches stay loud errors.
+        assert!(parse(&args(&["--faulty=yes"]), &["faulty"], &[]).is_err());
+        assert!(parse(&args(&["--seed=1", "--seed", "2"]), &[], &["seed"]).is_err());
     }
 
     #[test]

@@ -17,11 +17,14 @@
 //!   traces.
 //!
 //! Every workload is seeded, so two runs of the same binary measure the same
-//! work. The emitted JSON is schema-versioned (`linrv-bench/1`) and one
+//! work. The emitted JSON is schema-versioned (`linrv-bench/2`) and one
 //! datapoint per file: `{schema, host, date, quick, workloads: [{id, ops,
 //! ns_total, ns_per_op, ops_per_sec, rss_max_kb}]}`. `rss_max_kb` is the
 //! process-wide peak resident set (`VmHWM`) sampled after the workload, so it
-//! is monotone across the suite rather than attributable per workload.
+//! is monotone across the suite rather than attributable per workload. The
+//! DRV workload additionally carries `view_size: {p50, p99, max}` — the
+//! announce-view size distribution, quantifying how much of the `O(n)`
+//! per-operation snapshot cost the quadratic view growth accounts for.
 //!
 //! `--compare OLD.json` prints per-workload ns/op deltas against an earlier
 //! datapoint and exits 1 when any ratio exceeds `--threshold` (default 2.0) —
@@ -45,7 +48,18 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 /// Schema identifier stamped into every emitted file.
-const SCHEMA: &str = "linrv-bench/1";
+const SCHEMA: &str = "linrv-bench/2";
+
+/// Older schemas `--compare` still accepts as baselines. `/1` lacks only the
+/// DRV `view_size` distribution, which the comparison never reads.
+const COMPATIBLE_SCHEMAS: [&str; 1] = ["linrv-bench/1"];
+
+/// Announce-view size distribution of the DRV workload (in invocation pairs).
+struct ViewSizeDist {
+    p50: u64,
+    p99: u64,
+    max: u64,
+}
 
 /// One measured workload.
 struct Measurement {
@@ -53,6 +67,8 @@ struct Measurement {
     ops: u64,
     ns_total: u64,
     rss_max_kb: u64,
+    /// Only the DRV workload carries a view-size distribution.
+    view_size: Option<ViewSizeDist>,
 }
 
 impl Measurement {
@@ -173,9 +189,14 @@ fn run_suite(quick: bool) -> Vec<Measurement> {
     // DRV group: the announce/collect wrapper around the canonical queue.
     // Collect returns the full announced view, so the transform is inherently
     // quadratic in operations — sizes stay small to keep the suite fast.
+    // Each operation's announce-view size is recorded into a standalone
+    // histogram (four relaxed RMWs, noise next to the `O(n)` collect); its
+    // p50/p99/max land in the datapoint so the quadratic view growth is
+    // quantified before any perf work attacks it.
     let drv_ops = if quick { 2_000u64 } else { 3_000 };
     let processes = 4usize;
-    out.push(measure("drv/announce-collect".into(), drv_ops, || {
+    let view_sizes = linrv_obs::Histogram::standalone();
+    let mut drv_measurement = measure("drv/announce-collect".into(), drv_ops, || {
         let drv = Drv::new(impls::correct_object(ObjectKind::Queue), processes);
         let ids: Vec<ProcessId> = (0..processes)
             .map(|_| drv.register().expect("slots available"))
@@ -187,9 +208,19 @@ fn run_suite(quick: bool) -> Vec<Measurement> {
             } else {
                 ops::queue::dequeue()
             };
-            let _ = drv.apply_drv(process, &op);
+            let response = drv.apply_drv(process, &op);
+            view_sizes.record(response.view.len() as u64);
         }
-    }));
+    });
+    // The timed repetitions replay the same deterministic workload, so the
+    // accumulated distribution is the single-run distribution, repeated.
+    let dist = view_sizes.snapshot_values();
+    drv_measurement.view_size = Some(ViewSizeDist {
+        p50: dist.quantile(0.5),
+        p99: dist.quantile(0.99),
+        max: dist.max.unwrap_or(0),
+    });
+    out.push(drv_measurement);
 
     // Codec group: encode + decode round-trips per format.
     let codec_ops = if quick { 10_000 } else { 100_000 };
@@ -302,6 +333,7 @@ fn measure(id: String, ops: u64, mut work: impl FnMut()) -> Measurement {
         ops,
         ns_total,
         rss_max_kb: peak_rss_kb(),
+        view_size: None,
     };
     eprintln!(
         "{:<35} {:>9} ops  {:>12.1} ns/op  {:>14.0} ops/s",
@@ -441,10 +473,17 @@ fn render_json(measurements: &[Measurement], quick: bool) -> String {
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let view = match &m.view_size {
+            Some(v) => format!(
+                ", \"view_size\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}",
+                v.p50, v.p99, v.max
+            ),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
             "    {{\"id\": \"{}\", \"ops\": {}, \"ns_total\": {}, \"ns_per_op\": {:.2}, \
-             \"ops_per_sec\": {:.2}, \"rss_max_kb\": {}}}{comma}",
+             \"ops_per_sec\": {:.2}, \"rss_max_kb\": {}{view}}}{comma}",
             m.id,
             m.ops,
             m.ns_total,
@@ -472,16 +511,17 @@ impl Datapoint {
     }
 }
 
-/// Parses a `linrv-bench/1` file. A minimal recursive-descent JSON reader is
-/// used on purpose: the schema is ours, and the build environment vendors no
-/// JSON dependency outside the trace crate's private module.
+/// Parses a `linrv-bench/2` (or compatible older) file. A minimal
+/// recursive-descent JSON reader is used on purpose: the schema is ours, and
+/// the build environment vendors no JSON dependency outside the trace crate's
+/// private module.
 fn parse_datapoint(raw: &str) -> Result<Datapoint, String> {
     let value = JsonParser { raw, pos: 0 }.parse()?;
     let schema = value
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != SCHEMA {
+    if schema != SCHEMA && !COMPATIBLE_SCHEMAS.contains(&schema) {
         return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
     }
     let Some(Json::Array(entries)) = value.get("workloads") else {
@@ -758,15 +798,25 @@ mod tests {
                 ops: 900,
                 ns_total: 1_800_000,
                 rss_max_kb: 4096,
+                view_size: None,
             },
             Measurement {
-                id: "codec/jsonl/roundtrip".into(),
+                id: "drv/announce-collect".into(),
                 ops: 10_000,
                 ns_total: 5_000_000,
                 rss_max_kb: 8192,
+                view_size: Some(ViewSizeDist {
+                    p50: 48,
+                    p99: 96,
+                    max: 101,
+                }),
             },
         ];
         let json = render_json(&measurements, true);
+        assert!(
+            json.contains("\"view_size\": {\"p50\": 48, \"p99\": 96, \"max\": 101}"),
+            "view-size distribution lands in the datapoint: {json}"
+        );
         let datapoint = parse_datapoint(&json).expect("round-trip");
         assert_eq!(datapoint.workloads.len(), 2);
         assert_eq!(
@@ -774,6 +824,15 @@ mod tests {
             Some(2_000.0),
             "ns/op survives the round trip"
         );
+    }
+
+    #[test]
+    fn old_schema_baselines_still_compare() {
+        // A `/1` datapoint (no view_size anywhere) stays a valid baseline.
+        let raw = r#"{"schema": "linrv-bench/1",
+                      "workloads": [{"id": "drv/announce-collect", "ns_per_op": 120.5}]}"#;
+        let old = parse_datapoint(raw).expect("/1 baselines are compatible");
+        assert_eq!(old.ns_per_op("drv/announce-collect"), Some(120.5));
     }
 
     #[test]
@@ -786,12 +845,14 @@ mod tests {
             ops: 1,
             ns_total: 150,
             rss_max_kb: 0,
+            view_size: None,
         };
         let slow = Measurement {
             id: "b".into(),
             ops: 1,
             ns_total: 500,
             rss_max_kb: 0,
+            view_size: None,
         };
         let ok = compare(std::slice::from_ref(&fine), &old, 2.0).unwrap();
         assert_eq!(ok, ExitCode::SUCCESS);

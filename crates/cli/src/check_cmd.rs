@@ -32,11 +32,12 @@ pub(crate) fn run(parsed: &Parsed) -> Result<ExitCode, String> {
         return Err("--stride must be positive".into());
     }
     let quiet = parsed.has("quiet");
+    let stats = crate::stats::init(parsed);
     let input = open_input(path)?;
     let reader = TraceReader::new(input)
         .map_err(|err| format!("cannot read {}: {err}", describe(path, "stdin")))?;
     let source = describe(path, "stdin");
-    match reader.header().kind {
+    let code = match reader.header().kind {
         ObjectKind::Queue => check(QueueSpec::new(), reader, stride, quiet, &source),
         ObjectKind::Stack => check(StackSpec::new(), reader, stride, quiet, &source),
         ObjectKind::Set => check(SetSpec::new(), reader, stride, quiet, &source),
@@ -46,7 +47,11 @@ pub(crate) fn run(parsed: &Parsed) -> Result<ExitCode, String> {
         ObjectKind::Counter => check(CounterSpec::new(), reader, stride, quiet, &source),
         ObjectKind::Register => check(RegisterSpec::new(), reader, stride, quiet, &source),
         ObjectKind::Consensus => check(ConsensusSpec::new(), reader, stride, quiet, &source),
+    }?;
+    if let Some(stats) = &stats {
+        stats.emit()?;
     }
+    Ok(code)
 }
 
 /// Renders `Some(id)` as ` of object {id}` and `None` (untagged events) as

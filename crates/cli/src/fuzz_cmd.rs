@@ -30,8 +30,12 @@ pub(crate) fn run(parsed: &Parsed) -> Result<ExitCode, String> {
     if let Some(dir) = parsed.get("corpus") {
         config = config.with_corpus(dir);
     }
+    let stats = crate::stats::init(parsed);
     let report = run_sweep(&config).map_err(|err| format!("cannot write corpus: {err}"))?;
     print!("{}", report.render());
+    if let Some(stats) = &stats {
+        stats.emit()?;
+    }
     if report.all_expected() {
         Ok(ExitCode::SUCCESS)
     } else {

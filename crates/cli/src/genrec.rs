@@ -74,6 +74,7 @@ pub(crate) fn run(parsed: &Parsed, source: Source) -> Result<ExitCode, String> {
         return Err("--every must be positive".into());
     }
     let faulty = parsed.has("faulty");
+    let stats = crate::stats::init(parsed);
     // Consensus workloads are one-shot (`Workload` caps them at one Decide per
     // process); record what actually runs in the header, not what was asked.
     let ops = if kind == ObjectKind::Consensus {
@@ -152,5 +153,8 @@ pub(crate) fn run(parsed: &Parsed, source: Source) -> Result<ExitCode, String> {
         object.name(),
         describe(out_path, "stdout"),
     );
+    if let Some(stats) = &stats {
+        stats.emit()?;
+    }
     Ok(ExitCode::SUCCESS)
 }

@@ -17,6 +17,7 @@ mod convert;
 mod fuzz_cmd;
 mod genrec;
 mod io;
+mod stats;
 
 use std::process::ExitCode;
 
@@ -25,7 +26,7 @@ linrv — record, replay and offline-check linearizability traces
 
 USAGE:
     linrv gen     --kind <kind> [--seed N] [--processes N] [--ops N]
-                  [--mix A,B[,C]] [--keys N] [--skew X]
+                  [--mix A,B[,C]] [--keys N] [--skew X] [--stats[=FILE]]
                   [--faulty] [--every K] [--format jsonl|binary] [--out FILE]
         Generate a trace from a seeded workload executed by the sequential
         specification (or, with --faulty, the kind's fault injector).
@@ -38,15 +39,20 @@ USAGE:
         the kind (Michael–Scott queue, Treiber stack, ...), deterministically
         scheduled. Bit-for-bit deterministic per --seed.
 
-    linrv check   [FILE] [--stride N] [--quiet]
+    linrv check   [FILE] [--stride N] [--quiet] [--stats[=FILE]]
         Stream a trace (file or stdin) into the linearizability checker.
         Exit 0: linearizable. Exit 1: violation, certificate on stderr.
+
+        --stats records runtime metrics (re-check latency, DRV timings, ...)
+        and prints a one-screen report to stderr; --stats=FILE writes the
+        snapshot instead (.prom/.txt: Prometheus text, otherwise JSON).
+        Also accepted by gen, record and fuzz.
 
     linrv convert --to jsonl|binary [--in FILE] [--out FILE]
         Re-encode a trace, streaming; header and events are preserved.
 
     linrv fuzz    [--scenarios N] [--seed N] [--quick] [--processes N]
-                  [--ops N] [--corpus DIR]
+                  [--ops N] [--corpus DIR] [--stats[=FILE]]
         Sweep N seeded scenarios (generator x nemesis x kind) through the
         checker, shrink every failing trace to a locally minimal witness and
         print a one-screen report. With --corpus, write failing traces (full
@@ -100,7 +106,7 @@ fn dispatch(argv: &[String]) -> Result<ExitCode, String> {
             genrec::run(&parsed, genrec::Source::Implementation)
         }
         "check" => {
-            let parsed = args::parse(rest, &["quiet"], &["stride"])?;
+            let parsed = args::parse(rest, &["quiet", "stats"], &["stride", "stats"])?;
             check_cmd::run(&parsed)
         }
         "convert" => {
@@ -119,7 +125,7 @@ fn dispatch(argv: &[String]) -> Result<ExitCode, String> {
     }
 }
 
-const GEN_SWITCHES: &[&str] = &["faulty"];
+const GEN_SWITCHES: &[&str] = &["faulty", "stats"];
 const GEN_OPTIONS: &[&str] = &[
     "kind",
     "seed",
@@ -131,6 +137,7 @@ const GEN_OPTIONS: &[&str] = &[
     "mix",
     "keys",
     "skew",
+    "stats",
 ];
-const FUZZ_SWITCHES: &[&str] = &["quick"];
-const FUZZ_OPTIONS: &[&str] = &["scenarios", "seed", "corpus", "processes", "ops"];
+const FUZZ_SWITCHES: &[&str] = &["quick", "stats"];
+const FUZZ_OPTIONS: &[&str] = &["scenarios", "seed", "corpus", "processes", "ops", "stats"];

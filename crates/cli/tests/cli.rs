@@ -208,10 +208,23 @@ fn fuzz_quick_catches_and_shrinks_deterministically() {
         report.contains("VIOLATION") && report.contains("minimal"),
         "per-violation shrink lines expected, got: {report}"
     );
+    assert!(
+        report.contains("ops/sec"),
+        "throughput footer expected, got: {report}"
+    );
 
-    // Bit-for-bit determinism: same report, byte-identical corpus.
+    // Determinism: same verdicts and shrink sizes (wall times are the one
+    // non-deterministic part of the report), byte-identical corpus.
+    let strip_timings = |raw: &[u8]| -> String {
+        String::from_utf8_lossy(raw)
+            .lines()
+            .filter(|line| !line.contains(" ops/sec"))
+            .map(|line| line.rfind(" in ").map_or(line, |at| &line[..at]).to_owned())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
     let b = run(&dir_b);
-    assert_eq!(a.stdout, b.stdout);
+    assert_eq!(strip_timings(&a.stdout), strip_timings(&b.stdout));
     let mut names: Vec<String> = std::fs::read_dir(&dir_a)
         .unwrap()
         .map(|entry| entry.unwrap().file_name().into_string().unwrap())

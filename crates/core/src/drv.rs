@@ -133,6 +133,7 @@ impl<A: ConcurrentObject> Drv<A> {
 
     /// Phase 1 (Lines 01–02): announce the operation in the snapshot object.
     pub fn announce(&self, process: ProcessId, op: &Operation) -> Announced {
+        let span = linrv_obs::Span::start(crate::metrics::announce_ns());
         self.check_process(process);
         let pair = InvocationPair {
             process,
@@ -145,6 +146,10 @@ impl<A: ConcurrentObject> Drv<A> {
             local.clone()
         };
         self.announcements.write(process.index(), set);
+        drop(span);
+        if linrv_obs::enabled() {
+            crate::metrics::ops_announced().inc();
+        }
         Announced { pair }
     }
 
@@ -157,9 +162,15 @@ impl<A: ConcurrentObject> Drv<A> {
     /// Phase 3 (Lines 05–07): snapshot the announcements, union them into the view and
     /// assemble the response.
     pub fn collect(&self, announced: Announced, value: OpValue) -> DrvResponse {
+        let span = linrv_obs::Span::start(crate::metrics::collect_ns());
         let process = announced.pair.process;
         let scanned = self.announcements.scan(process.index());
         let view: View = scanned.into_iter().flatten().collect();
+        drop(span);
+        if linrv_obs::enabled() {
+            crate::metrics::view_size().record(view.len() as u64);
+            crate::metrics::ops_collected().inc();
+        }
         DrvResponse {
             pair: announced.pair,
             value,

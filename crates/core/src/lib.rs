@@ -23,7 +23,10 @@
 //! * [`certificate`] — serialisable accountability/forensics certificates
 //!   (Section 8.3);
 //! * [`registry`] — capacity-bounded dynamic process registration, backing the
-//!   session handles of the `linrv` facade crate.
+//!   session handles of the `linrv` facade crate;
+//! * [`metrics`] — `linrv-obs` profiling hooks for the DRV hot path
+//!   (announce/collect/sketch latency, announce-view size), recording only
+//!   while `linrv_obs::enabled()` is on.
 //!
 //! ## Quick start
 //!
@@ -54,6 +57,7 @@ pub mod decoupled;
 pub mod drv;
 pub mod enforce;
 pub mod impossibility;
+pub mod metrics;
 pub mod registry;
 pub mod sketch;
 pub mod verifier;

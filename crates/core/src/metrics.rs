@@ -1,0 +1,78 @@
+//! DRV hot-path metrics: lazily registered handles in the global
+//! [`Registry`].
+//!
+//! These are the profiling hooks the ROADMAP's hot-path item asks for: the
+//! announce/collect tax of the Figure 7 transform is known to be ~300µs/op
+//! and quadratic in the object's op count (views grow with every operation),
+//! and `linrv_drv_view_size` measures exactly that growth on a live run.
+//!
+//! Everything here is gated on [`linrv_obs::enabled`] at the call sites in
+//! [`crate::drv`] and [`crate::sketch`]: with recording disabled (the
+//! default) the hot path pays one relaxed load and a predicted branch per
+//! phase, nothing else.
+
+use linrv_obs::{Counter, Histogram, MetricKind, Registry};
+use std::sync::OnceLock;
+
+const ANNOUNCE_NS: &str = "linrv_drv_announce_ns";
+const ANNOUNCE_NS_HELP: &str = "DRV announce phase latency (Figure 7 lines 01-02), nanoseconds";
+const COLLECT_NS: &str = "linrv_drv_collect_ns";
+const COLLECT_NS_HELP: &str = "DRV collect phase latency (Figure 7 lines 05-07), nanoseconds";
+const SKETCH_NS: &str = "linrv_drv_sketch_ns";
+const SKETCH_NS_HELP: &str = "sketch_history construction latency, nanoseconds";
+const VIEW_SIZE: &str = "linrv_drv_view_size";
+const VIEW_SIZE_HELP: &str = "announce-view size per collected operation (invocation pairs)";
+const OPS_ANNOUNCED: &str = "linrv_drv_ops_announced_total";
+const OPS_ANNOUNCED_HELP: &str = "operations announced in the snapshot object";
+const OPS_COLLECTED: &str = "linrv_drv_ops_collected_total";
+const OPS_COLLECTED_HELP: &str = "operations whose view has been collected";
+
+/// Announce-phase latency histogram.
+pub fn announce_ns() -> &'static Histogram {
+    static SLOT: OnceLock<Histogram> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().histogram(ANNOUNCE_NS, ANNOUNCE_NS_HELP))
+}
+
+/// Collect-phase latency histogram.
+pub fn collect_ns() -> &'static Histogram {
+    static SLOT: OnceLock<Histogram> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().histogram(COLLECT_NS, COLLECT_NS_HELP))
+}
+
+/// `sketch_history` construction latency histogram.
+pub fn sketch_ns() -> &'static Histogram {
+    static SLOT: OnceLock<Histogram> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().histogram(SKETCH_NS, SKETCH_NS_HELP))
+}
+
+/// Announce-view size distribution (one sample per collected operation).
+pub fn view_size() -> &'static Histogram {
+    static SLOT: OnceLock<Histogram> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().histogram(VIEW_SIZE, VIEW_SIZE_HELP))
+}
+
+/// Operations announced (phase 1 completions).
+pub fn ops_announced() -> &'static Counter {
+    static SLOT: OnceLock<Counter> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().counter(OPS_ANNOUNCED, OPS_ANNOUNCED_HELP))
+}
+
+/// Operations collected (phase 3 completions). At quiescence
+/// `ops_announced() - ops_collected()` is the number of announced-but-pending
+/// operations (crashed or in-flight processes).
+pub fn ops_collected() -> &'static Counter {
+    static SLOT: OnceLock<Counter> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().counter(OPS_COLLECTED, OPS_COLLECTED_HELP))
+}
+
+/// Declares every DRV family in the global registry so exports list them
+/// even before (or without) any recording. Called by `--stats` surfaces.
+pub fn declare() {
+    let registry = Registry::global();
+    registry.declare(ANNOUNCE_NS, MetricKind::Histogram, ANNOUNCE_NS_HELP);
+    registry.declare(COLLECT_NS, MetricKind::Histogram, COLLECT_NS_HELP);
+    registry.declare(SKETCH_NS, MetricKind::Histogram, SKETCH_NS_HELP);
+    registry.declare(VIEW_SIZE, MetricKind::Histogram, VIEW_SIZE_HELP);
+    registry.declare(OPS_ANNOUNCED, MetricKind::Counter, OPS_ANNOUNCED_HELP);
+    registry.declare(OPS_COLLECTED, MetricKind::Counter, OPS_COLLECTED_HELP);
+}

@@ -109,7 +109,9 @@ pub fn sketch_interval(tuples: &TupleSet) -> Result<IntervalHistory, SketchError
 ///
 /// Returns [`SketchError::ViewProperty`] when the tuples violate Remark 7.2.
 pub fn sketch_history(tuples: &TupleSet) -> Result<History, SketchError> {
-    Ok(sketch_interval(tuples)?.flatten())
+    linrv_obs::time(crate::metrics::sketch_ns(), || {
+        Ok(sketch_interval(tuples)?.flatten())
+    })
 }
 
 #[cfg(test)]

@@ -78,6 +78,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod metrics;
 mod monitor;
 mod session;
 mod typed_history;

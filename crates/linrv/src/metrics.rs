@@ -1,0 +1,62 @@
+//! Session-level metrics: per-operation latency and verdict counts.
+//!
+//! One histogram sample per [`Session`](crate::Session) operation
+//! (`apply`/`apply_raw`, end to end across the three DRV phases plus
+//! verification and decoding) and one counter bump per verdict. All sites
+//! are gated on [`linrv_obs::enabled`], so a monitor that nobody is watching
+//! pays one relaxed load per operation.
+
+use linrv_obs::{Counter, Histogram, MetricKind, Registry};
+use std::sync::OnceLock;
+
+const OP_NS: &str = "linrv_session_op_ns";
+const OP_NS_HELP: &str = "session operation latency end to end (announce..decode), nanoseconds";
+const OPS: &str = "linrv_session_ops_total";
+const OPS_HELP: &str = "session operations applied (typed and raw)";
+const OK: &str = "linrv_session_verdict_ok_total";
+const OK_HELP: &str = "operations whose response was verified (or recorded in Observe mode)";
+const VIOLATIONS: &str = "linrv_session_violations_total";
+const VIOLATIONS_HELP: &str = "violation verdicts surfaced (Enforce rejections and failing checks)";
+const MALFORMED: &str = "linrv_session_malformed_total";
+const MALFORMED_HELP: &str = "responses rejected because they did not decode to the typed response";
+
+/// End-to-end session operation latency histogram.
+pub fn op_ns() -> &'static Histogram {
+    static SLOT: OnceLock<Histogram> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().histogram(OP_NS, OP_NS_HELP))
+}
+
+/// Session operations started.
+pub fn ops_total() -> &'static Counter {
+    static SLOT: OnceLock<Counter> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().counter(OPS, OPS_HELP))
+}
+
+/// Verified (or Observe-recorded) responses.
+pub fn verdict_ok() -> &'static Counter {
+    static SLOT: OnceLock<Counter> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().counter(OK, OK_HELP))
+}
+
+/// Violation verdicts surfaced by this monitor.
+pub fn violations() -> &'static Counter {
+    static SLOT: OnceLock<Counter> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().counter(VIOLATIONS, VIOLATIONS_HELP))
+}
+
+/// Malformed (undecodable) responses.
+pub fn malformed() -> &'static Counter {
+    static SLOT: OnceLock<Counter> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().counter(MALFORMED, MALFORMED_HELP))
+}
+
+/// Declares every session family in the global registry so exports list
+/// them even before any recording.
+pub fn declare() {
+    let registry = Registry::global();
+    registry.declare(OP_NS, MetricKind::Histogram, OP_NS_HELP);
+    registry.declare(OPS, MetricKind::Counter, OPS_HELP);
+    registry.declare(OK, MetricKind::Counter, OK_HELP);
+    registry.declare(VIOLATIONS, MetricKind::Counter, VIOLATIONS_HELP);
+    registry.declare(MALFORMED, MetricKind::Counter, MALFORMED_HELP);
+}

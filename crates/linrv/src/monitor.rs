@@ -29,6 +29,12 @@ pub(crate) struct MonitorInner<A, S: TypedObject> {
 impl<A: ConcurrentObject, S: TypedObject> MonitorInner<A, S> {
     /// Captures the first-violation certificate if the policy requires it.
     pub(crate) fn note_violation(&self, process: ProcessId) {
+        if linrv_obs::enabled() {
+            crate::metrics::violations().inc();
+            linrv_obs::event("monitor.violation", || {
+                format!("violation verdict surfaced at {process}")
+            });
+        }
         if self.policy == CertificatePolicy::OnViolation {
             let mut slot = self.first_violation.lock();
             if slot.is_none() {

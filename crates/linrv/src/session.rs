@@ -166,6 +166,10 @@ impl<A: ConcurrentObject, S: TypedObject> Session<A, S> {
     /// Panics when a staged operation of this session has not been committed yet
     /// (processes are sequential).
     pub fn apply<Op: OpFor<S>>(&self, op: Op) -> Result<Op::Response, Rejected> {
+        let _span = linrv_obs::Span::start(crate::metrics::op_ns());
+        if linrv_obs::enabled() {
+            crate::metrics::ops_total().inc();
+        }
         let staged = self.stage(op);
         let executed = self.execute(staged);
         self.commit(executed)
@@ -277,7 +281,11 @@ impl<A: ConcurrentObject, S: TypedObject> Session<A, S> {
         self.outstanding
             .store(0, std::sync::atomic::Ordering::Release);
         match outcome {
-            VerifierOutcome::Ok => {}
+            VerifierOutcome::Ok => {
+                if linrv_obs::enabled() {
+                    crate::metrics::verdict_ok().inc();
+                }
+            }
             VerifierOutcome::Error { witness } => {
                 self.monitor.note_violation(self.process);
                 return Err(Rejected::Violation {
@@ -289,11 +297,15 @@ impl<A: ConcurrentObject, S: TypedObject> Session<A, S> {
                 panic!("DRV wrapper produced invalid views: {err}")
             }
         }
-        op.decode_response(&response.value)
-            .map_err(|error| Rejected::Malformed {
+        op.decode_response(&response.value).map_err(|error| {
+            if linrv_obs::enabled() {
+                crate::metrics::malformed().inc();
+            }
+            Rejected::Malformed {
                 underlying: response.value,
                 error,
-            })
+            }
+        })
     }
 
     /// Escape hatch: applies an untyped wire operation through the raw API,
@@ -305,6 +317,10 @@ impl<A: ConcurrentObject, S: TypedObject> Session<A, S> {
     /// Panics when another operation of this session is still in flight
     /// (processes are sequential).
     pub fn apply_raw(&self, op: &Operation) -> EnforcedResponse {
+        let _span = linrv_obs::Span::start(crate::metrics::op_ns());
+        if linrv_obs::enabled() {
+            crate::metrics::ops_total().inc();
+        }
         self.claim_sequential("apply a raw operation");
         let response = self.apply_raw_inner(op);
         self.outstanding
@@ -333,11 +349,16 @@ impl<A: ConcurrentObject, S: TypedObject> Session<A, S> {
         let verifier = self.monitor.enforced.verifier();
         match self.monitor.mode {
             Mode::Enforce => match verifier.observe(self.process, response.tuple()) {
-                VerifierOutcome::Ok => EnforcedResponse {
-                    value: response.value.clone(),
-                    underlying: response.value,
-                    witness: None,
-                },
+                VerifierOutcome::Ok => {
+                    if linrv_obs::enabled() {
+                        crate::metrics::verdict_ok().inc();
+                    }
+                    EnforcedResponse {
+                        value: response.value.clone(),
+                        underlying: response.value,
+                        witness: None,
+                    }
+                }
                 VerifierOutcome::Error { witness } => {
                     self.monitor.note_violation(self.process);
                     EnforcedResponse {
@@ -352,6 +373,9 @@ impl<A: ConcurrentObject, S: TypedObject> Session<A, S> {
             },
             Mode::Observe => {
                 verifier.record(self.process, response.tuple());
+                if linrv_obs::enabled() {
+                    crate::metrics::verdict_ok().inc();
+                }
                 EnforcedResponse {
                     value: response.value.clone(),
                     underlying: response.value,

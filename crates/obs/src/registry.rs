@@ -1,0 +1,402 @@
+//! Metric registry: named, labeled families of counters/gauges/histograms,
+//! and the point-in-time [`MetricsSnapshot`] read off them.
+//!
+//! Registration is the cold path (a `Mutex` over a `BTreeMap`); the handles
+//! it returns are `Arc`-backed clones, so the hot recording path never goes
+//! near the registry again. Registering the same `(name, labels)` pair twice
+//! returns a handle to the same underlying metric, which makes lazy
+//! `OnceLock`-style call-site statics idempotent.
+
+use crate::events::{recent_events, Event};
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What a metric family measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Instantaneous signed value.
+    Gauge,
+    /// Log-bucketed sample distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus type name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum AnyMetric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Family {
+    kind: MetricKind,
+    help: &'static str,
+    /// Keyed by the rendered label string for deterministic export order.
+    series: BTreeMap<String, (Vec<(String, String)>, AnyMetric)>,
+}
+
+/// A collection of metric families. Most code uses [`Registry::global`];
+/// benches and tests can build private instances.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn label_key(labels: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut owned: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    owned.sort();
+    owned
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry every built-in instrumentation site uses.
+    #[must_use]
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Family>> {
+        self.families.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        kind: MetricKind,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> AnyMetric,
+    ) -> AnyMetric {
+        let mut families = self.lock();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} registered as {} but requested as {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        let owned = own_labels(labels);
+        let key = label_key(&owned);
+        let (_, metric) = family.series.entry(key).or_insert_with(|| (owned, make()));
+        metric.clone()
+    }
+
+    /// Declares a family without creating any series, so exports always show
+    /// it (with zero series) even when nothing recorded into it yet.
+    pub fn declare(&self, name: &str, kind: MetricKind, help: &'static str) {
+        let mut families = self.lock();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} declared as {} but exists as {}",
+            kind.as_str(),
+            family.kind.as_str()
+        );
+    }
+
+    /// An unlabeled counter named `name`, created on first use.
+    pub fn counter(&self, name: &str, help: &'static str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// A labeled counter series in the family `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    pub fn counter_with(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, MetricKind::Counter, help, labels, || {
+            AnyMetric::Counter(Counter::standalone())
+        }) {
+            AnyMetric::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// An unlabeled gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// A labeled gauge series in the family `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    pub fn gauge_with(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, MetricKind::Gauge, help, labels, || {
+            AnyMetric::Gauge(Gauge::standalone())
+        }) {
+            AnyMetric::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// An unlabeled histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str, help: &'static str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// A labeled histogram series in the family `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.register(name, MetricKind::Histogram, help, labels, || {
+            AnyMetric::Histogram(Histogram::standalone())
+        }) {
+            AnyMetric::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// A point-in-time copy of every family, series and the recent event
+    /// ring. Deterministically ordered (by name, then label string).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self.lock();
+        let mut out = Vec::with_capacity(families.len());
+        for (name, family) in families.iter() {
+            let series = family
+                .series
+                .values()
+                .map(|(labels, metric)| SeriesSnapshot {
+                    labels: labels.clone(),
+                    value: match metric {
+                        AnyMetric::Counter(c) => SeriesValue::Counter(c.get()),
+                        AnyMetric::Gauge(g) => SeriesValue::Gauge(g.get()),
+                        AnyMetric::Histogram(h) => {
+                            SeriesValue::Histogram(Box::new(h.snapshot_values()))
+                        }
+                    },
+                })
+                .collect();
+            out.push(FamilySnapshot {
+                name: name.clone(),
+                kind: family.kind,
+                help: family.help.to_string(),
+                series,
+            });
+        }
+        MetricsSnapshot {
+            enabled: crate::enabled(),
+            families: out,
+            events: recent_events(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], ready for export or inspection.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Whether recording was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// Every registered family, sorted by name.
+    pub families: Vec<FamilySnapshot>,
+    /// The recent trace-event ring, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// One metric family (a name plus all its labeled series) in a snapshot.
+#[derive(Debug, Clone)]
+pub struct FamilySnapshot {
+    /// Family name, e.g. `linrv_drv_announce_ns`.
+    pub name: String,
+    /// Counter, gauge or histogram.
+    pub kind: MetricKind,
+    /// Human-readable help string.
+    pub help: String,
+    /// All series, sorted by rendered label string.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// One labeled series within a family.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Sorted `(key, value)` label pairs; empty for unlabeled series.
+    pub labels: Vec<(String, String)>,
+    /// The series' value at snapshot time.
+    pub value: SeriesValue,
+}
+
+/// The value of one series.
+#[derive(Debug, Clone)]
+pub enum SeriesValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram distribution (boxed: a snapshot is ~0.5 KiB of buckets).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+impl MetricsSnapshot {
+    /// The family named `name`, if present.
+    #[must_use]
+    pub fn family(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Sum of all counter series in the family `name`; `None` when the
+    /// family is absent or not a counter family.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let family = self.family(name)?;
+        if family.kind != MetricKind::Counter {
+            return None;
+        }
+        Some(
+            family
+                .series
+                .iter()
+                .map(|s| match s.value {
+                    SeriesValue::Counter(v) => v,
+                    _ => 0,
+                })
+                .sum(),
+        )
+    }
+
+    /// Sum of all gauge series in the family `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        let family = self.family(name)?;
+        if family.kind != MetricKind::Gauge {
+            return None;
+        }
+        Some(
+            family
+                .series
+                .iter()
+                .map(|s| match s.value {
+                    SeriesValue::Gauge(v) => v,
+                    _ => 0,
+                })
+                .sum(),
+        )
+    }
+
+    /// All histogram series of the family `name` merged into one
+    /// distribution; `None` when absent or not a histogram family. A
+    /// declared-but-empty family yields an empty distribution.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let family = self.family(name)?;
+        if family.kind != MetricKind::Histogram {
+            return None;
+        }
+        let mut merged = HistogramSnapshot::empty();
+        for series in &family.series {
+            if let SeriesValue::Histogram(h) = &series.value {
+                merged.merge(h);
+            }
+        }
+        Some(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_the_metric() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", "x");
+        let b = reg.counter("x_total", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(reg.snapshot().counter("x_total"), Some(2));
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_sum_in_snapshots() {
+        let reg = Registry::new();
+        reg.counter_with("s_total", "s", &[("shard", "0")]).add(3);
+        reg.counter_with("s_total", "s", &[("shard", "1")]).add(4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("s_total"), Some(7));
+        assert_eq!(snap.family("s_total").unwrap().series.len(), 2);
+    }
+
+    #[test]
+    fn declared_families_appear_empty() {
+        let reg = Registry::new();
+        reg.declare("h_ns", MetricKind::Histogram, "h");
+        let snap = reg.snapshot();
+        assert_eq!(snap.family("h_ns").unwrap().series.len(), 0);
+        assert_eq!(snap.histogram("h_ns").unwrap().count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("m", "m");
+        let _ = reg.gauge("m", "m");
+    }
+
+    #[test]
+    fn gauges_and_histograms_snapshot() {
+        let reg = Registry::new();
+        reg.gauge_with("depth", "d", &[("shard", "0")]).set(5);
+        reg.histogram("lat_ns", "l").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("depth"), Some(5));
+        assert_eq!(snap.histogram("lat_ns").unwrap().count, 1);
+        assert!(snap.counter("depth").is_none(), "kind-checked accessors");
+    }
+}

@@ -53,6 +53,7 @@
 //! portable trace that `linrv check` re-verifies offline per object.
 
 mod builder;
+pub mod metrics;
 mod pool;
 mod queue;
 mod state;

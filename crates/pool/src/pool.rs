@@ -1,8 +1,9 @@
 //! The [`MonitorPool`]: many per-object monitors behind sharded ingestion and
 //! a work-stealing pool of checker threads.
 
+use crate::metrics::PoolMetrics;
 use crate::queue::BoundedQueue;
-use crate::state::{CheckCfg, CheckState, Counters};
+use crate::state::{CheckCfg, CheckState};
 use crate::verdict::{PoolVerdict, PoolViolation};
 use linrv::{Mode, Monitor, MonitorBuilder, RegistryFull, Session, SnapshotBackend};
 use linrv_check::{PartitionedSpec, Verdict, Violation};
@@ -36,7 +37,9 @@ pub(crate) struct Ingest {
     processed: AtomicU64,
     /// Events dropped because the pool shut down while a producer was blocked.
     dropped: AtomicU64,
-    shard_ingested: Vec<AtomicU64>,
+    /// This pool's registry-backed series; the atomics above are mirrored
+    /// into it at their increment sites, everything else records here only.
+    metrics: Arc<PoolMetrics>,
     /// Wakes idle workers when events or jobs arrive.
     work_mutex: Mutex<()>,
     work_cv: Condvar,
@@ -54,16 +57,27 @@ pub(crate) struct Ingest {
 type Job = Box<dyn FnOnce() + Send>;
 
 impl Ingest {
-    fn new(shards: usize, queue_capacity: usize, sink: Option<Arc<dyn TaggedEventSink>>) -> Self {
+    fn new(
+        shards: usize,
+        queue_capacity: usize,
+        sink: Option<Arc<dyn TaggedEventSink>>,
+        metrics: Arc<PoolMetrics>,
+    ) -> Self {
         Ingest {
             queues: (0..shards)
-                .map(|_| BoundedQueue::new(queue_capacity))
+                .map(|shard| {
+                    BoundedQueue::new(
+                        queue_capacity,
+                        metrics.queue_depth[shard].clone(),
+                        metrics.producer_block_ns.clone(),
+                    )
+                })
                 .collect(),
             shutdown: AtomicBool::new(false),
             ingested: AtomicU64::new(0),
             processed: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
-            shard_ingested: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            metrics,
             work_mutex: Mutex::new(()),
             work_cv: Condvar::new(),
             quiesce_mutex: Mutex::new(()),
@@ -128,14 +142,18 @@ impl linrv_trace::EventSink for ObjectSink {
         if let Some(sink) = &self.ingest.sink {
             sink.tagged_event(self.object, event);
         }
+        // Mirror into the registry before the control increment: the control
+        // atomic's release/acquire pair then publishes the mirror too.
+        self.ingest.metrics.ingested.inc();
+        self.ingest.metrics.shard_ingested[self.shard].inc();
         // Count before pushing: quiesce must not observe ingested < queued.
         self.ingest.ingested.fetch_add(1, Ordering::Release);
-        self.ingest.shard_ingested[self.shard].fetch_add(1, Ordering::Relaxed);
         let accepted = self.ingest.queues[self.shard]
             .push((self.object, event.clone()), &self.ingest.shutdown);
         if accepted {
             self.ingest.notify_work();
         } else {
+            self.ingest.metrics.dropped.inc();
             self.ingest.dropped.fetch_add(1, Ordering::Release);
             self.ingest.notify_quiesce();
         }
@@ -171,8 +189,6 @@ struct Shared<A, S: TypedObject> {
     spec: S,
     factory: Box<dyn Fn(u64) -> A + Send + Sync>,
     config: PoolConfig,
-    counters: Counters,
-    steals: AtomicU64,
 }
 
 fn shard_of(object: u64, shards: usize) -> usize {
@@ -245,7 +261,7 @@ where
                     continue;
                 }
                 if k != 0 {
-                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    self.ingest.metrics.steals.inc();
                 }
                 for (object, event) in batch.drain(..) {
                     let entry = match &cached {
@@ -263,9 +279,10 @@ where
                         event,
                         &self.spec,
                         &self.config.check,
-                        &self.counters,
+                        &self.ingest.metrics.counters,
                     );
                 }
+                self.ingest.metrics.processed.add(n as u64);
                 self.ingest.processed.fetch_add(n as u64, Ordering::Release);
                 self.ingest.notify_quiesce();
                 drained = true;
@@ -457,7 +474,8 @@ where
         sink: Option<Arc<dyn TaggedEventSink>>,
     ) -> Self {
         let shards = shards.max(1);
-        let ingest = Arc::new(Ingest::new(shards, queue_capacity, sink));
+        let metrics = Arc::new(PoolMetrics::register(shards));
+        let ingest = Arc::new(Ingest::new(shards, queue_capacity, sink, metrics));
         let shared = Arc::new(Shared {
             ingest,
             shards: (0..shards)
@@ -469,8 +487,6 @@ where
             spec,
             factory,
             config,
-            counters: Counters::default(),
-            steals: AtomicU64::new(0),
         });
         let workers = (0..workers.max(1))
             .map(|index| {
@@ -528,7 +544,12 @@ where
                 let shared = Arc::clone(&self.shared);
                 let job: Box<dyn FnOnce() -> (u64, PoolVerdict) + Send> = Box::new(move || {
                     let mut state = lock(&entry.state);
-                    state.finalize(object, &shared.spec, &shared.config.check, &shared.counters);
+                    state.finalize(
+                        object,
+                        &shared.spec,
+                        &shared.config.check,
+                        &shared.ingest.metrics.counters,
+                    );
                     (object, state.verdict())
                 });
                 job
@@ -587,24 +608,31 @@ where
     }
 
     /// Aggregate counters: ingestion, checks, GC, retention, steals.
+    ///
+    /// A thin view over this pool's series in the global [`linrv_obs`]
+    /// registry — a Prometheus or JSON export reads the same numbers. The
+    /// retention and object-count gauges are refreshed here (they summarise
+    /// per-object state too expensive to maintain on the hot path).
     pub fn stats(&self) -> PoolStats {
-        let ingest = &self.shared.ingest;
+        let metrics = &self.shared.ingest.metrics;
         let mut objects = 0;
         let mut retained = 0;
         for (_, entry) in self.shared.entries() {
             objects += 1;
             retained += lock(&entry.state).retained() as u64;
         }
+        metrics.objects.set(objects as i64);
+        metrics.retained_events.set(retained as i64);
         PoolStats {
             objects,
-            ingested: ingest.ingested.load(Ordering::Acquire),
-            processed: ingest.processed.load(Ordering::Acquire),
-            dropped: ingest.dropped.load(Ordering::Acquire),
-            checks: self.shared.counters.checks.load(Ordering::Relaxed),
-            gced_events: self.shared.counters.gced.load(Ordering::Relaxed),
+            ingested: metrics.ingested.get(),
+            processed: metrics.processed.get(),
+            dropped: metrics.dropped.get(),
+            checks: metrics.counters.checks.get(),
+            gced_events: metrics.counters.gced.get(),
             retained_events: retained,
-            violations: self.shared.counters.violations.load(Ordering::Relaxed),
-            steals: self.shared.steals.load(Ordering::Relaxed),
+            violations: metrics.counters.violations.get(),
+            steals: metrics.steals.get(),
         }
     }
 
@@ -626,8 +654,10 @@ where
         })
     }
 
-    /// Per-shard counters, one entry per shard.
+    /// Per-shard counters, one entry per shard — a thin view over this pool's
+    /// `shard`-labeled registry series.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let metrics = &self.shared.ingest.metrics;
         self.shared
             .shards
             .iter()
@@ -635,8 +665,8 @@ where
             .map(|(index, shard)| ShardStats {
                 shard: index,
                 objects: lock(&shard.registry).len() as u64,
-                ingested: self.shared.ingest.shard_ingested[index].load(Ordering::Relaxed),
-                queued: self.shared.ingest.queues[index].len() as u64,
+                ingested: metrics.shard_ingested[index].get(),
+                queued: metrics.queue_depth[index].get().max(0) as u64,
             })
             .collect()
     }

@@ -10,24 +10,32 @@
 //! `Condvar`, and the pool needs real blocking waits.
 
 use linrv_history::Event;
+use linrv_obs::{Gauge, Histogram};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One shard's bounded event queue.
 pub(crate) struct BoundedQueue {
     inner: Mutex<VecDeque<(u64, Event)>>,
     not_full: Condvar,
     capacity: usize,
+    /// Registry gauge mirroring the current queue length (updated under the
+    /// queue mutex, so it never drifts from `len()`).
+    depth: Gauge,
+    /// How long producers spent blocked on this queue being full.
+    blocked_ns: Histogram,
 }
 
 impl BoundedQueue {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, depth: Gauge, blocked_ns: Histogram) -> Self {
         BoundedQueue {
             inner: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            depth,
+            blocked_ns,
         }
     }
 
@@ -44,9 +52,17 @@ impl BoundedQueue {
     /// deadlock the producer against the dying pool.
     pub(crate) fn push(&self, item: (u64, Event), shutdown: &AtomicBool) -> bool {
         let mut queue = self.lock();
+        // Only take a clock reading when the push actually blocks *and*
+        // recording is on: the uncontended fast path stays timer-free.
+        let mut blocked_at: Option<Instant> = None;
         while queue.len() >= self.capacity {
             if shutdown.load(Ordering::Acquire) {
+                drop(queue);
+                self.record_blocked(blocked_at);
                 return false;
+            }
+            if blocked_at.is_none() && linrv_obs::enabled() {
+                blocked_at = Some(Instant::now());
             }
             // A timed wait keeps the producer live across missed wakeups and
             // shutdown races without any elaborate signalling protocol.
@@ -57,7 +73,17 @@ impl BoundedQueue {
             queue = guard;
         }
         queue.push_back(item);
+        self.depth.set(queue.len() as i64);
+        drop(queue);
+        self.record_blocked(blocked_at);
         true
+    }
+
+    fn record_blocked(&self, blocked_at: Option<Instant>) {
+        if let Some(start) = blocked_at {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.blocked_ns.record(ns);
+        }
     }
 
     /// Moves up to `max` events into `out`, preserving order; returns how many.
@@ -65,6 +91,7 @@ impl BoundedQueue {
         let mut queue = self.lock();
         let n = queue.len().min(max);
         out.extend(queue.drain(..n));
+        self.depth.set(queue.len() as i64);
         if n > 0 {
             self.not_full.notify_all();
         }
@@ -89,24 +116,31 @@ mod tests {
         )
     }
 
+    fn queue_of(capacity: usize) -> BoundedQueue {
+        BoundedQueue::new(capacity, Gauge::standalone(), Histogram::standalone())
+    }
+
     #[test]
     fn drains_in_fifo_order_and_respects_batch_size() {
-        let queue = BoundedQueue::new(16);
+        let queue = queue_of(16);
         let shutdown = AtomicBool::new(false);
         for i in 0..5 {
             assert!(queue.push(ev(i), &shutdown));
         }
+        assert_eq!(queue.depth.get(), 5, "the gauge tracks the length");
         let mut out = Vec::new();
         assert_eq!(queue.drain_into(&mut out, 3), 3);
+        assert_eq!(queue.depth.get(), 2);
         assert_eq!(queue.drain_into(&mut out, 100), 2);
         let objects: Vec<u64> = out.iter().map(|(o, _)| *o).collect();
         assert_eq!(objects, vec![0, 1, 2, 3, 4]);
         assert_eq!(queue.len(), 0);
+        assert_eq!(queue.depth.get(), 0);
     }
 
     #[test]
     fn full_queue_blocks_until_drained_and_drops_on_shutdown() {
-        let queue = std::sync::Arc::new(BoundedQueue::new(2));
+        let queue = std::sync::Arc::new(queue_of(2));
         let shutdown = AtomicBool::new(false);
         assert!(queue.push(ev(0), &shutdown));
         assert!(queue.push(ev(1), &shutdown));

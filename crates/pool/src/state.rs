@@ -33,18 +33,33 @@ use crate::verdict::{PoolVerdict, PoolViolation};
 use linrv_check::{LinSpec, StrategyChecker, Verdict};
 use linrv_history::History;
 use linrv_history::Operation;
+use linrv_obs::Counter;
 use linrv_spec::{ObjectKind, SequentialSpec, SpecError};
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Check/GC counters shared across all objects of a pool.
-#[derive(Debug, Default)]
+/// Check/GC counters shared across all objects of a pool. The handles are
+/// [`linrv_obs`] counters: a pool wires them to its labeled registry series
+/// (see `crate::metrics`), tests use detached standalone ones.
+#[derive(Debug)]
 pub(crate) struct Counters {
     /// Checker invocations (incremental + final).
-    pub(crate) checks: AtomicU64,
+    pub(crate) checks: Counter,
     /// Events garbage-collected after passing checks.
-    pub(crate) gced: AtomicU64,
+    pub(crate) gced: Counter,
+    /// Events first covered by a check (the checked-prefix watermark).
+    pub(crate) checked_events: Counter,
     /// Objects with a latched violation.
-    pub(crate) violations: AtomicU64,
+    pub(crate) violations: Counter,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            checks: Counter::standalone(),
+            gced: Counter::standalone(),
+            checked_events: Counter::standalone(),
+            violations: Counter::standalone(),
+        }
+    }
 }
 
 /// Knobs the check state needs from the pool configuration.
@@ -129,7 +144,9 @@ impl<S: SequentialSpec + Clone> CheckState<S> {
 
     fn run_check(&mut self, object: u64, spec: &S, cfg: &CheckCfg, counters: &Counters) {
         self.checks += 1;
-        counters.checks.fetch_add(1, Ordering::Relaxed);
+        counters.checks.inc();
+        let newly_checked = self.tail.len().saturating_sub(self.checked_events);
+        counters.checked_events.add(newly_checked as u64);
         self.checked_events = self.tail.len();
         let verdict = if self.base_is_initial {
             // Canonical initial state: full strategy dispatch, specialized
@@ -203,13 +220,16 @@ impl<S: SequentialSpec + Clone> CheckState<S> {
         self.completed -= consumed / 2;
         self.checked_events -= consumed;
         self.gced += consumed as u64;
-        counters.gced.fetch_add(consumed as u64, Ordering::Relaxed);
+        counters.gced.add(consumed as u64);
         self.base_is_initial = state == spec.initial_state();
         self.base = state;
     }
 
     fn latch(&mut self, object: u64, witness: History, explanation: String, counters: &Counters) {
-        counters.violations.fetch_add(1, Ordering::Relaxed);
+        counters.violations.inc();
+        linrv_obs::event("pool.violation", || {
+            format!("object {object} latched a violation: {explanation}")
+        });
         self.violation = Some(PoolViolation {
             object,
             witness,
@@ -333,7 +353,11 @@ mod tests {
             "fully sequential + final check = empty tail"
         );
         assert_eq!(state.gced(), 400);
-        assert_eq!(counters.gced.load(Ordering::Relaxed), 400);
+        assert_eq!(counters.gced.get(), 400);
+        assert!(
+            counters.checked_events.get() >= 400,
+            "every event was covered by some check"
+        );
         assert!(
             state.checks() > 1,
             "the geometric schedule checks repeatedly"
@@ -364,7 +388,7 @@ mod tests {
             violation.witness.len() < 22,
             "witness excludes the GC'd prefix"
         );
-        assert_eq!(counters.violations.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.violations.get(), 1);
         // Later events are dropped once latched.
         let retained = state.retained();
         state.on_event(

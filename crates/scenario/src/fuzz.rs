@@ -91,6 +91,10 @@ pub struct ScenarioResult {
     pub trace_file: Option<String>,
     /// Corpus file of the shrunk minimal trace, when written.
     pub minimal_file: Option<String>,
+    /// Wall time of the scenario (run, check and shrink), in nanoseconds.
+    /// The only non-deterministic field: verdicts and corpus bytes stay a
+    /// pure function of the config.
+    pub wall_ns: u64,
 }
 
 impl ScenarioResult {
@@ -117,6 +121,8 @@ pub struct FuzzReport {
     pub seed: u64,
     /// Per-scenario results, in index order.
     pub results: Vec<ScenarioResult>,
+    /// Wall time of the whole sweep, in nanoseconds.
+    pub wall_ns: u64,
 }
 
 impl FuzzReport {
@@ -139,6 +145,12 @@ impl FuzzReport {
     /// the sweep's pass condition.
     pub fn all_expected(&self) -> bool {
         self.missed() == 0 && self.unexpected() == 0
+    }
+
+    /// Complete operations executed across all scenarios.
+    pub fn total_ops(&self) -> u64 {
+        // Every recorded event pair (invocation + response) is one operation.
+        self.results.iter().map(|r| r.events as u64 / 2).sum()
     }
 
     /// Renders the one-screen scenario report.
@@ -164,23 +176,54 @@ impl FuzzReport {
             if r.violated {
                 let _ = writeln!(
                     out,
-                    "  #{:04} {:<40} VIOLATION: {} events -> {} ops minimal ({} removed){}",
+                    "  #{:04} {:<40} VIOLATION: {} events -> {} ops minimal ({} removed) in {}{}",
                     r.index,
                     r.label,
                     r.events,
                     r.minimal_ops.unwrap_or(0),
                     r.removed.unwrap_or(0),
+                    fmt_wall(r.wall_ns),
                     if r.expected { "" } else { "  ** UNEXPECTED **" },
                 );
             } else if r.missed() {
                 let _ = writeln!(
                     out,
-                    "  #{:04} {:<40} MISSED injected fault",
-                    r.index, r.label
+                    "  #{:04} {:<40} MISSED injected fault in {}",
+                    r.index,
+                    r.label,
+                    fmt_wall(r.wall_ns),
                 );
             }
         }
+        let ops = self.total_ops();
+        let seconds = (self.wall_ns as f64 / 1e9).max(1e-9);
+        let mut footer = format!(
+            "  {ops} ops in {} — {:.0} ops/sec",
+            fmt_wall(self.wall_ns),
+            ops as f64 / seconds,
+        );
+        if let Some(slowest) = self.results.iter().max_by_key(|r| r.wall_ns) {
+            let _ = write!(
+                footer,
+                " (slowest: #{:04} {} in {})",
+                slowest.index,
+                slowest.label,
+                fmt_wall(slowest.wall_ns),
+            );
+        }
+        let _ = writeln!(out, "{footer}");
         out
+    }
+}
+
+/// Renders nanoseconds as a compact human duration.
+fn fmt_wall(ns: u64) -> String {
+    if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
     }
 }
 
@@ -242,8 +285,10 @@ pub fn run_sweep(config: &FuzzConfig) -> io::Result<FuzzReport> {
         processes: config.processes,
         ops_per_process: config.ops_per_process,
     };
+    let sweep_started = std::time::Instant::now();
     let mut results = Vec::with_capacity(config.scenarios);
     for index in 0..config.scenarios {
+        let started = std::time::Instant::now();
         let scenario = Scenario::derive(config.seed, index, shape);
         let outcome = run_scenario(&scenario);
         let mut result = ScenarioResult {
@@ -256,6 +301,7 @@ pub fn run_sweep(config: &FuzzConfig) -> io::Result<FuzzReport> {
             removed: None,
             trace_file: None,
             minimal_file: None,
+            wall_ns: 0,
         };
         if outcome.violated() {
             let shrunk = shrink(outcome.kind, &outcome.history);
@@ -267,11 +313,13 @@ pub fn run_sweep(config: &FuzzConfig) -> io::Result<FuzzReport> {
                 result.minimal_file = Some(minimal);
             }
         }
+        result.wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         results.push(result);
     }
     Ok(FuzzReport {
         seed: config.seed,
         results,
+        wall_ns: u64::try_from(sweep_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
     })
 }
 

@@ -19,13 +19,19 @@
 //! Exits `0` when the rigged key (and only the rigged key) is flagged; the CI
 //! smoke test pins that exit code. Per-shard throughput is printed at the end,
 //! doubling as a smoke benchmark of the ingestion path.
+//!
+//! Two observability flags tap the `linrv-obs` layer: `--dashboard` prints a
+//! live ingestion/checking status line every 250ms while the load runs, and
+//! `--metrics-out FILE` switches recording on and writes the full metrics
+//! snapshot at exit (Prometheus text for `.prom`/`.txt`, JSON otherwise) —
+//! queue depths, producer-block and check latencies included.
 
 use linrv::history::{OpValue, Operation, ProcessId};
 use linrv::runtime::impls::AtomicIntRegister;
 use linrv::runtime::ConcurrentObject;
 use linrv::spec::ObjectKind;
 use linrv_pool::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -85,6 +91,8 @@ struct Args {
     objects: u64,
     ops: u64,
     seed: u64,
+    dashboard: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -93,9 +101,22 @@ fn parse_args() -> Args {
         objects: 64,
         ops: 200,
         seed: 42,
+        dashboard: false,
+        metrics_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
+        if flag == "--dashboard" {
+            args.dashboard = true;
+            continue;
+        }
+        if flag == "--metrics-out" {
+            args.metrics_out = Some(
+                iter.next()
+                    .unwrap_or_else(|| panic!("--metrics-out needs a file path")),
+            );
+            continue;
+        }
         let value: u64 = iter
             .next()
             .and_then(|raw| raw.parse().ok())
@@ -105,15 +126,44 @@ fn parse_args() -> Args {
             "--objects" => args.objects = value.max(2),
             "--ops" => args.ops = value.max(1),
             "--seed" => args.seed = value,
-            other => panic!("unknown flag {other} (use --clients/--objects/--ops/--seed)"),
+            other => panic!(
+                "unknown flag {other} (use --clients/--objects/--ops/--seed/--dashboard/--metrics-out)"
+            ),
         }
     }
     args
 }
 
+/// One dashboard tick: ingestion and checking totals plus per-shard queue
+/// depths, all read through the pool's metrics-backed stats views.
+fn dashboard_line(pool: &MonitorPool<Box<dyn ConcurrentObject>, RegisterSpec>) -> String {
+    let stats = pool.stats();
+    let depths: Vec<String> = pool
+        .shard_stats()
+        .iter()
+        .map(|shard| shard.queued.to_string())
+        .collect();
+    format!(
+        "[dash] ingested {:>8}  processed {:>8}  checks {:>6}  gced {:>8}  queued [{}]",
+        stats.ingested,
+        stats.processed,
+        stats.checks,
+        stats.gced_events,
+        depths.join(" "),
+    )
+}
+
 fn main() {
     let args = parse_args();
     let bad_key = args.objects / 2;
+    if args.metrics_out.is_some() || args.dashboard {
+        // Recording stays off unless asked for: the example doubles as the
+        // overhead demo, so the default run pays only the kill-switch load.
+        if !linrv_obs::set_enabled(true) {
+            eprintln!("warning: linrv-obs was compiled out; metrics will be empty");
+        }
+        linrv_pool::metrics::declare();
+    }
     println!("{}", linrv_examples::banner("accountable KV service"));
     println!(
         "  {} clients x {} ops over {} keys (seed {}), rigged key: {bad_key}",
@@ -140,23 +190,41 @@ fn main() {
     // write/read pairs. Clients write only non-negative values, so EVIL_VALUE
     // can never be an honest response.
     let started = Instant::now();
+    let load_done = AtomicBool::new(false);
     std::thread::scope(|scope| {
-        for client in 0..args.clients {
+        if args.dashboard {
             let pool = Arc::clone(&pool);
-            let mut rng = Rng(args.seed ^ (client.wrapping_mul(0x0DDB_1A5E_5BAD_5EED)));
-            let objects = args.objects;
-            let ops = args.ops;
+            let load_done = &load_done;
             scope.spawn(move || {
-                for _ in 0..ops {
-                    let key = rng.next() % objects;
-                    let Ok(session) = pool.session(key) else {
-                        continue; // all slots of this key busy: move on
-                    };
-                    let _ = session.write((rng.next() % 1_000) as i64);
-                    let _ = session.read();
+                while !load_done.load(Ordering::Acquire) {
+                    println!("  {}", dashboard_line(&pool));
+                    std::thread::sleep(std::time::Duration::from_millis(250));
                 }
+                println!("  {}  (load drained)", dashboard_line(&pool));
             });
         }
+        let clients: Vec<_> = (0..args.clients)
+            .map(|client| {
+                let pool = Arc::clone(&pool);
+                let mut rng = Rng(args.seed ^ (client.wrapping_mul(0x0DDB_1A5E_5BAD_5EED)));
+                let objects = args.objects;
+                let ops = args.ops;
+                scope.spawn(move || {
+                    for _ in 0..ops {
+                        let key = rng.next() % objects;
+                        let Ok(session) = pool.session(key) else {
+                            continue; // all slots of this key busy: move on
+                        };
+                        let _ = session.write((rng.next() % 1_000) as i64);
+                        let _ = session.read();
+                    }
+                })
+            })
+            .collect();
+        for client in clients {
+            let _ = client.join();
+        }
+        load_done.store(true, Ordering::Release);
     });
     pool.quiesce();
     let elapsed = started.elapsed();
@@ -222,4 +290,15 @@ fn main() {
          {bad_key} can be held accountable.",
         verdicts.len()
     );
+
+    if let Some(path) = &args.metrics_out {
+        let snapshot = linrv_obs::Registry::global().snapshot();
+        match snapshot.write_file(std::path::Path::new(path)) {
+            Ok(()) => println!("  metrics snapshot written to {path}"),
+            Err(err) => {
+                eprintln!("ERROR: cannot write metrics to {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -1,0 +1,133 @@
+//! Tier-1 gates for the `linrv-obs` layer.
+//!
+//! Two properties are pinned. First, the kill switch works: with recording
+//! off (the default) the instrumented session hot path stays within noise of
+//! itself with recording on — the gate is deliberately generous (3x plus an
+//! absolute slack) because debug-build timing is noisy, while a real
+//! regression (say, a lock on the hot path) is orders of magnitude.
+//! Second, the recorded numbers are *consistent*: announce/collect counters
+//! obey the paper's phase structure (`announced == collected + pending`) and
+//! latency histograms carry exactly one sample per completed operation.
+//!
+//! Everything here shares the process-wide enabled flag and the cumulative
+//! global registry, so every test takes [`OBS_LOCK`] and measures deltas
+//! under it.
+
+use linrv::prelude::*;
+use linrv::runtime::impls::AtomicCounter;
+use linrv_core::Drv;
+use linrv_spec::ops::counter;
+use proptest::prelude::*;
+use std::sync::Mutex;
+use std::time::Instant;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // A poisoned lock only means another test failed; the registry itself
+    // stays usable.
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn recording_overhead_is_within_noise() {
+    let _guard = lock();
+    let time = |on: bool| -> Option<u128> {
+        if linrv_obs::set_enabled(on) != on {
+            return None; // compile-off build: nothing to gate
+        }
+        // Verified session ops re-check the growing prefix, so the batch is
+        // kept small — the point is the relative cost of recording, not an
+        // absolute throughput number.
+        let mut best = u128::MAX;
+        for _ in 0..5 {
+            let monitor = Monitor::builder(CounterSpec::new())
+                .processes(1)
+                .build(AtomicCounter::new());
+            let session = monitor.register().expect("fresh monitor has a free slot");
+            let start = Instant::now();
+            for _ in 0..48 {
+                session.inc().expect("a correct counter is never rejected");
+            }
+            best = best.min(start.elapsed().as_nanos());
+        }
+        linrv_obs::set_enabled(false);
+        Some(best)
+    };
+    let off = time(false).expect("disabling recording always takes effect");
+    let Some(on) = time(true) else {
+        return;
+    };
+    assert!(
+        on <= off * 3 + 2_000_000,
+        "recording tripled the session hot path: {on}ns on vs {off}ns off"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Figure 7 phase accounting: every operation is announced exactly once,
+    /// collected at most once, and the gap is exactly the processes that
+    /// announced and then stopped (crashed or still in flight). Each collect
+    /// contributes one announce-view size sample.
+    #[test]
+    fn announce_collect_counters_are_consistent(op_count in 1..40usize, pending in 0..4usize) {
+        let _guard = lock();
+        if !linrv_obs::set_enabled(true) {
+            return; // compile-off build: nothing is recorded
+        }
+        let announced0 = linrv_core::metrics::ops_announced().get();
+        let collected0 = linrv_core::metrics::ops_collected().get();
+        let views0 = linrv_core::metrics::view_size().snapshot_values().count;
+
+        let drv = Drv::new(AtomicCounter::new(), pending + 1);
+        let worker = drv.register().expect("fresh wrapper has free slots");
+        for _ in 0..op_count {
+            let _ = drv.apply_drv(worker, &counter::inc());
+        }
+        // `pending` processes announce and never collect.
+        for _ in 0..pending {
+            let process = drv.register().expect("slots sized for the pending set");
+            let _ = drv.announce(process, &counter::inc());
+        }
+        linrv_obs::set_enabled(false);
+
+        let announced = linrv_core::metrics::ops_announced().get() - announced0;
+        let collected = linrv_core::metrics::ops_collected().get() - collected0;
+        let views = linrv_core::metrics::view_size().snapshot_values().count - views0;
+        prop_assert_eq!(announced, (op_count + pending) as u64);
+        prop_assert_eq!(collected, op_count as u64);
+        prop_assert_eq!(announced - collected, pending as u64);
+        prop_assert_eq!(views, collected);
+    }
+
+    /// The session latency histogram carries exactly one sample per completed
+    /// operation — the same count the verifier's sketched history reports.
+    #[test]
+    fn session_latency_samples_match_the_history(op_count in 1..30usize) {
+        let _guard = lock();
+        if !linrv_obs::set_enabled(true) {
+            return;
+        }
+        let samples0 = linrv::metrics::op_ns().snapshot_values().count;
+        let monitor = Monitor::builder(CounterSpec::new())
+            .processes(2)
+            .build(AtomicCounter::new());
+        let session = monitor.register().expect("fresh monitor has free slots");
+        for _ in 0..op_count {
+            session.inc().expect("a correct counter is never rejected");
+        }
+        linrv_obs::set_enabled(false);
+
+        let samples = linrv::metrics::op_ns().snapshot_values().count - samples0;
+        let scanner = monitor.as_raw().register().expect("second slot is free");
+        let history = monitor
+            .as_raw()
+            .verifier()
+            .current_sketch(scanner)
+            .expect("a verified run sketches cleanly");
+        prop_assert_eq!(samples as usize, history.complete_operations().count());
+        prop_assert_eq!(samples as usize, op_count);
+    }
+}
