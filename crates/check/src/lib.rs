@@ -43,6 +43,7 @@ pub mod genlin;
 pub mod linearizability;
 pub mod metrics;
 pub mod partitioned;
+pub mod pattern;
 pub mod setlin;
 pub mod specialized;
 pub mod stream;
@@ -52,10 +53,11 @@ pub mod witness;
 pub use genlin::{ClosureReport, GenLinObject};
 pub use linearizability::{CheckerConfig, LinSpec};
 pub use partitioned::PartitionedSpec;
+pub use pattern::BadPattern;
 pub use setlin::{SetLinCounterSpec, SetLinSpec, SetSequentialSpec};
 pub use specialized::{
     check_specialized, CheckerStrategy, FallbackReason, Route, SpecializedResult, StrategyChecker,
 };
 pub use stream::{check_events, StreamingChecker};
 pub use tasks::{OneShotTaskObject, Task, TaskInstance};
-pub use witness::{Verdict, Violation};
+pub use witness::{SearchFrontier, Verdict, Violation};

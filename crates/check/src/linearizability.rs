@@ -18,7 +18,7 @@
 //! tractable product-object fast path.
 
 use crate::genlin::GenLinObject;
-use crate::witness::{Verdict, Violation};
+use crate::witness::{SearchFrontier, Verdict, Violation};
 use linrv_history::{History, HistoryBuilder, OpRecord, OpValue};
 use linrv_spec::SequentialSpec;
 use std::collections::HashSet;
@@ -78,10 +78,10 @@ impl<S: SequentialSpec> LinSpec<S> {
     pub fn check(&self, history: &History) -> Verdict {
         if let Err(err) = history.check_well_formed() {
             return Verdict::NotMember {
-                violation: Violation {
-                    history: history.clone(),
-                    explanation: format!("history is not well formed: {err}"),
-                },
+                violation: Violation::new(
+                    history.clone(),
+                    format!("history is not well formed: {err}"),
+                ),
             };
         }
 
@@ -100,14 +100,15 @@ impl<S: SequentialSpec> LinSpec<S> {
                     linearization: Some(linearization),
                 }
             }
-            SearchOutcome::Exhausted => Verdict::NotMember {
-                violation: Violation {
-                    history: history.clone(),
-                    explanation: format!(
-                        "no linearization with respect to the {} specification exists",
+            SearchOutcome::Exhausted(frontier) => Verdict::NotMember {
+                violation: Violation::new(
+                    history.clone(),
+                    format!(
+                        "no linearization with respect to the {} specification exists ({frontier})",
                         self.spec.kind()
                     ),
-                },
+                )
+                .with_frontier(frontier),
             },
             SearchOutcome::BudgetExceeded => Verdict::Inconclusive,
         }
@@ -148,8 +149,9 @@ fn build_linearization(records: &[OpRecord], order: &[(usize, OpValue)]) -> Hist
 enum SearchOutcome {
     /// A linearization was found: the operations in order, with their responses.
     Found(Vec<(usize, OpValue)>),
-    /// The whole search space was explored without success.
-    Exhausted,
+    /// The whole search space was explored without success; the frontier
+    /// records the deepest prefix reached.
+    Exhausted(SearchFrontier),
     /// The exploration budget ran out.
     BudgetExceeded,
 }
@@ -201,6 +203,7 @@ impl<'a, S: SequentialSpec> Search<'a, S> {
         let mut path: Vec<(usize, OpValue)> = Vec::new();
         let mut memo: HashSet<(BitSet, S::State)> = HashSet::new();
         let mut explored: usize = 0;
+        let mut deepest: Vec<usize> = Vec::new();
         let complete_count = self.records.iter().filter(|r| r.is_complete()).count();
 
         let found = self.dfs(
@@ -211,16 +214,24 @@ impl<'a, S: SequentialSpec> Search<'a, S> {
             &mut explored,
             complete_count,
             0,
+            &mut deepest,
         );
         match found {
             Some(true) => SearchOutcome::Found(path),
-            Some(false) => SearchOutcome::Exhausted,
+            Some(false) => SearchOutcome::Exhausted(SearchFrontier {
+                linearized: deepest.iter().map(|&i| self.records[i].id).collect(),
+                total_complete: complete_count,
+                explored,
+            }),
             None => SearchOutcome::BudgetExceeded,
         }
     }
 
     /// Depth-first search. Returns `Some(true)` when a linearization was completed,
     /// `Some(false)` when this subtree holds none, `None` when the budget ran out.
+    ///
+    /// `deepest` tracks the longest linearized prefix reached anywhere in the
+    /// search — the frontier reported when the search exhausts.
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         &self,
@@ -231,6 +242,7 @@ impl<'a, S: SequentialSpec> Search<'a, S> {
         explored: &mut usize,
         complete_count: usize,
         linearized_complete: usize,
+        deepest: &mut Vec<usize>,
     ) -> Option<bool> {
         if linearized_complete == complete_count {
             return Some(true);
@@ -266,6 +278,9 @@ impl<'a, S: SequentialSpec> Search<'a, S> {
                 }
                 linearized.insert(i);
                 path.push((i, response));
+                if path.len() > deepest.len() {
+                    *deepest = path.iter().map(|&(index, _)| index).collect();
+                }
                 let next_complete = linearized_complete + usize::from(record.is_complete());
                 match self.dfs(
                     linearized,
@@ -275,6 +290,7 @@ impl<'a, S: SequentialSpec> Search<'a, S> {
                     explored,
                     complete_count,
                     next_complete,
+                    deepest,
                 ) {
                     Some(true) => return Some(true),
                     Some(false) => {

@@ -88,10 +88,10 @@ where
     /// is meaningful then).
     pub fn split(&self, history: &History) -> Result<BTreeMap<i64, History>, Violation> {
         if let Err(err) = history.check_well_formed() {
-            return Err(Violation {
-                history: history.clone(),
-                explanation: format!("history is not well formed: {err}"),
-            });
+            return Err(Violation::new(
+                history.clone(),
+                format!("history is not well formed: {err}"),
+            ));
         }
         // Group events by partition key, preserving order.
         let mut per_key: BTreeMap<i64, Vec<linrv_history::Event>> = BTreeMap::new();
@@ -133,8 +133,8 @@ where
                 Verdict::NotMember { violation } => {
                     return Verdict::NotMember {
                         violation: Violation {
-                            history: violation.history,
                             explanation: format!("partition {key}: {}", violation.explanation),
+                            ..violation
                         },
                     }
                 }

@@ -1,0 +1,75 @@
+//! Named bad patterns: structured evidence behind a `NotMember` verdict.
+//!
+//! The specialized monitors decide non-membership from individually sound
+//! *bad patterns* in the style of Bouajjani et al. and Lee & Mathur. Until
+//! now that evidence was collapsed into a bare explanation string; this
+//! module keeps it structured so downstream tooling (`linrv explain`, the
+//! `linrv-cert/1` certificate) can name the reason a history is not
+//! linearizable and point at the culprit values.
+
+use std::fmt;
+
+/// A named bad pattern witnessed by a specialized monitor.
+///
+/// The `name` is drawn from a small closed vocabulary (kebab-case, stable
+/// across releases — see `CERT.md`):
+///
+/// | name | meaning |
+/// |---|---|
+/// | `bad-response` | a response of an impossible shape, or a foreign operation |
+/// | `duplicate-add` | a value inserted more often than the object can hold |
+/// | `duplicate-remove` | a value removed more often than it was added |
+/// | `never-added` | a value observed or removed that was never added |
+/// | `remove-before-add` | a removal/read completing before its matching add was invoked |
+/// | `order-inversion` | a removal order the real-time order forbids (FIFO inversion, LIFO crossing, priority inversion) |
+/// | `stale-read` | a register read of an overwritten (or initial) value after an overwriting write completed |
+/// | `covered-empty` | an empty response inside a window where the object is necessarily non-empty |
+/// | `count-mismatch` | counter results inconsistent with the number of increments |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadPattern {
+    /// Stable kebab-case pattern name.
+    pub name: &'static str,
+    /// Human-readable explanation of the concrete occurrence.
+    pub message: String,
+    /// The culprit values (operation arguments or responses), when the
+    /// pattern names specific values.
+    pub values: Vec<i64>,
+}
+
+impl BadPattern {
+    /// A pattern with no culprit values.
+    pub fn new(name: &'static str, message: impl Into<String>) -> Self {
+        BadPattern {
+            name,
+            message: message.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Attaches the culprit values.
+    #[must_use]
+    pub fn with_values(mut self, values: Vec<i64>) -> Self {
+        self.values = values;
+        self
+    }
+}
+
+impl fmt::Display for BadPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_the_message() {
+        let pattern = BadPattern::new("never-added", "value 7 dequeued but never enqueued")
+            .with_values(vec![7]);
+        assert_eq!(pattern.to_string(), "value 7 dequeued but never enqueued");
+        assert_eq!(pattern.name, "never-added");
+        assert_eq!(pattern.values, [7]);
+    }
+}

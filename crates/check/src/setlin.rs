@@ -148,10 +148,10 @@ impl<S: SetSequentialSpec> SetLinSpec<S> {
     pub fn check(&self, history: &History) -> Verdict {
         if let Err(err) = history.check_well_formed() {
             return Verdict::NotMember {
-                violation: Violation {
-                    history: history.clone(),
-                    explanation: format!("history is not well formed: {err}"),
-                },
+                violation: Violation::new(
+                    history.clone(),
+                    format!("history is not well formed: {err}"),
+                ),
             };
         }
         let records = history.operations();
@@ -171,10 +171,10 @@ impl<S: SetSequentialSpec> SetLinSpec<S> {
             }
         } else {
             Verdict::NotMember {
-                violation: Violation {
-                    history: history.clone(),
-                    explanation: format!("no set-linearization w.r.t. {} exists", self.spec.name()),
-                },
+                violation: Violation::new(
+                    history.clone(),
+                    format!("no set-linearization w.r.t. {} exists", self.spec.name()),
+                ),
             }
         }
     }

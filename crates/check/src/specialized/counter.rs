@@ -10,7 +10,7 @@
 //! decides everything else. Pending operations fall back.
 
 use super::util::{respects_precedence, Span};
-use super::{FallbackReason, SpecializedResult};
+use super::{BadPattern, FallbackReason, SpecializedResult};
 use linrv_history::{History, OpValue};
 
 pub(super) fn check(history: &History) -> SpecializedResult {
@@ -23,7 +23,10 @@ pub(super) fn check(history: &History) -> SpecializedResult {
         let span = Span::new(record.invocation_index, record.response_index);
         let kind = record.operation.kind.as_str();
         if !matches!(kind, "Inc" | "Read") {
-            return SpecializedResult::NotMember(format!("{kind} is not a counter operation"));
+            return SpecializedResult::NotMember(BadPattern::new(
+                "bad-response",
+                format!("{kind} is not a counter operation"),
+            ));
         }
         match &record.response {
             Some(OpValue::Int(value)) => {
@@ -34,8 +37,9 @@ pub(super) fn check(history: &History) -> SpecializedResult {
                 }
             }
             Some(other) => {
-                return SpecializedResult::NotMember(format!(
-                    "{kind} returned {other}, expected an integer"
+                return SpecializedResult::NotMember(BadPattern::new(
+                    "bad-response",
+                    format!("{kind} returned {other}, expected an integer"),
                 ));
             }
             None => unreachable!("pending operations force a fallback above"),
@@ -47,17 +51,27 @@ pub(super) fn check(history: &History) -> SpecializedResult {
     incs.sort_unstable_by_key(|&(value, _)| value);
     for (expected, &(value, _)) in incs.iter().enumerate() {
         if value != expected as i64 {
-            return SpecializedResult::NotMember(format!(
-                "{k} increments must return each value in 0..{k} exactly once; \
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "count-mismatch",
+                    format!(
+                        "{k} increments must return each value in 0..{k} exactly once; \
                  saw {value} where {expected} was required"
-            ));
+                    ),
+                )
+                .with_values(vec![value]),
+            );
         }
     }
     for &(value, _) in &reads {
         if !(0..=k).contains(&value) {
-            return SpecializedResult::NotMember(format!(
-                "Read returned {value}, impossible with {k} increments"
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "count-mismatch",
+                    format!("Read returned {value}, impossible with {k} increments"),
+                )
+                .with_values(vec![value]),
+            );
         }
     }
 

@@ -51,6 +51,7 @@
 
 use crate::genlin::GenLinObject;
 use crate::linearizability::{CheckerConfig, LinSpec};
+use crate::pattern::BadPattern;
 use crate::witness::{Verdict, Violation};
 use linrv_history::History;
 use linrv_spec::{ObjectKind, SequentialSpec};
@@ -126,8 +127,9 @@ impl fmt::Display for FallbackReason {
 pub enum SpecializedResult {
     /// A linearization was constructed and validated: the history is a member.
     Member,
-    /// A sound bad pattern was found; the string explains it.
-    NotMember(String),
+    /// A sound bad pattern was found; the [`BadPattern`] names it and carries
+    /// the culprit values.
+    NotMember(BadPattern),
     /// The monitor declines; the caller should run the general search.
     Fallback(FallbackReason),
 }
@@ -246,16 +248,14 @@ impl<S: SequentialSpec> StrategyChecker<S> {
                             Route::Specialized,
                         );
                     }
-                    SpecializedResult::NotMember(explanation) => {
+                    SpecializedResult::NotMember(pattern) => {
                         return (
                             Verdict::NotMember {
-                                violation: Violation {
-                                    history: history.clone(),
-                                    explanation: format!(
-                                        "specialized {} monitor: {explanation}",
-                                        self.kind
-                                    ),
-                                },
+                                violation: Violation::new(
+                                    history.clone(),
+                                    format!("specialized {} monitor: {pattern}", self.kind),
+                                )
+                                .with_pattern(pattern),
                             },
                             Route::Specialized,
                         );

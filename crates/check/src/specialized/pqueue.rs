@@ -12,7 +12,7 @@
 //! validates the emitted order. Pending operations fall back.
 
 use super::util::{compress, respects_precedence, IntervalUnion, PrefixMax, Span, INF};
-use super::{FallbackReason, SpecializedResult};
+use super::{BadPattern, FallbackReason, SpecializedResult};
 use linrv_history::{History, OpValue};
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
@@ -43,9 +43,15 @@ pub(super) fn check(history: &History) -> SpecializedResult {
                 match &record.response {
                     Some(OpValue::Bool(true)) => {}
                     Some(other) => {
-                        return SpecializedResult::NotMember(format!(
-                            "Insert({value}) acknowledged with {other} instead of true"
-                        ));
+                        return SpecializedResult::NotMember(
+                            BadPattern::new(
+                                "bad-response",
+                                format!(
+                                    "Insert({value}) acknowledged with {other} instead of true"
+                                ),
+                            )
+                            .with_values(vec![value]),
+                        );
                     }
                     None => unreachable!("pending operations force a fallback above"),
                 }
@@ -65,15 +71,17 @@ pub(super) fn check(history: &History) -> SpecializedResult {
                 },
                 Some(OpValue::Empty) => empties.push(span),
                 Some(other) => {
-                    return SpecializedResult::NotMember(format!(
-                        "ExtractMin returned {other}, expected an integer or empty"
+                    return SpecializedResult::NotMember(BadPattern::new(
+                        "bad-response",
+                        format!("ExtractMin returned {other}, expected an integer or empty"),
                     ));
                 }
                 None => unreachable!("pending operations force a fallback above"),
             },
             other => {
-                return SpecializedResult::NotMember(format!(
-                    "{other} is not a priority-queue operation"
+                return SpecializedResult::NotMember(BadPattern::new(
+                    "bad-response",
+                    format!("{other} is not a priority-queue operation"),
                 ));
             }
         }
@@ -86,17 +94,31 @@ pub(super) fn check(history: &History) -> SpecializedResult {
     let mut matched: Vec<Pair> = Vec::with_capacity(extracts.len());
     for (&value, &(extract, count)) in &extracts {
         if count > 1 {
-            return SpecializedResult::NotMember(format!("value {value} extracted {count} times"));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "duplicate-remove",
+                    format!("value {value} extracted {count} times"),
+                )
+                .with_values(vec![value]),
+            );
         }
         let Some(&(insert, _)) = inserts.get(&value) else {
-            return SpecializedResult::NotMember(format!(
-                "value {value} extracted but never inserted"
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "never-added",
+                    format!("value {value} extracted but never inserted"),
+                )
+                .with_values(vec![value]),
+            );
         };
         if extract.precedes(&insert) {
-            return SpecializedResult::NotMember(format!(
-                "value {value} extracted before its insert was invoked"
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "remove-before-add",
+                    format!("value {value} extracted before its insert was invoked"),
+                )
+                .with_values(vec![value]),
+            );
         }
         matched.push(Pair {
             insert,
@@ -110,11 +132,11 @@ pub(super) fn check(history: &History) -> SpecializedResult {
         .map(|(&value, &(span, _))| (span, value))
         .collect();
 
-    if let Some(explanation) = smaller_value_present(&matched, &unmatched) {
-        return SpecializedResult::NotMember(explanation);
+    if let Some(pattern) = smaller_value_present(&matched, &unmatched) {
+        return SpecializedResult::NotMember(pattern);
     }
-    if let Some(explanation) = covered_empty_extract(&matched, &unmatched, &empties) {
-        return SpecializedResult::NotMember(explanation);
+    if let Some(pattern) = covered_empty_extract(&matched, &unmatched, &empties) {
+        return SpecializedResult::NotMember(pattern);
     }
 
     if simulate(&matched, &unmatched, &empties) {
@@ -132,7 +154,7 @@ pub(super) fn check(history: &History) -> SpecializedResult {
 /// condition is `rs(insert v) <= iv(extract w)` and
 /// `iv(extract v) >= rs(extract w)`. Swept with a Fenwick prefix-max over
 /// values in increasing value order.
-fn smaller_value_present(matched: &[Pair], unmatched: &[(Span, i64)]) -> Option<String> {
+fn smaller_value_present(matched: &[Pair], unmatched: &[(Span, i64)]) -> Option<BadPattern> {
     // All values, each contributing (value, rs(insert), iv(extract) or INF).
     let mut values: Vec<(i64, u32, u32)> = matched
         .iter()
@@ -156,11 +178,17 @@ fn smaller_value_present(matched: &[Pair], unmatched: &[(Span, i64)]) -> Option<
         // v with rs(insert v) <= iv(extract w):
         let prefix = insert_rs.partition_point(|&rs| rs <= w.extract.iv);
         if prefix > 0 && tree.query(prefix - 1) >= w.extract.rs {
-            return Some(format!(
-                "ExtractMin returned {} while a smaller value was necessarily \
+            return Some(
+                BadPattern::new(
+                    "order-inversion",
+                    format!(
+                        "ExtractMin returned {} while a smaller value was necessarily \
                  in the queue",
-                w.value
-            ));
+                        w.value
+                    ),
+                )
+                .with_values(vec![w.value]),
+            );
         }
     }
     None
@@ -172,7 +200,7 @@ fn covered_empty_extract(
     matched: &[Pair],
     unmatched: &[(Span, i64)],
     empties: &[Span],
-) -> Option<String> {
+) -> Option<BadPattern> {
     if empties.is_empty() {
         return None;
     }
@@ -185,11 +213,11 @@ fn covered_empty_extract(
     let union = IntervalUnion::new(occupied);
     for span in empties {
         if union.covers(span.iv, span.rs - 1) {
-            return Some(
+            return Some(BadPattern::new(
+                "covered-empty",
                 "an extraction observed an empty priority queue inside a window \
-                 where it is necessarily non-empty"
-                    .to_string(),
-            );
+                 where it is necessarily non-empty",
+            ));
         }
     }
     None
@@ -368,10 +396,12 @@ mod tests {
         b.complete(p(0), ops::insert(3), OpValue::Bool(true));
         b.complete(p(0), ops::extract_min(), OpValue::Int(5));
         b.complete(p(0), ops::extract_min(), OpValue::Int(3));
-        let SpecializedResult::NotMember(explanation) = run(b) else {
+        let SpecializedResult::NotMember(pattern) = run(b) else {
             panic!("expected a violation");
         };
-        assert!(explanation.contains("smaller value"), "{explanation}");
+        assert_eq!(pattern.name, "order-inversion");
+        assert_eq!(pattern.values, [5]);
+        assert!(pattern.message.contains("smaller value"), "{pattern}");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! operations are dropped, which the membership semantics permits.
 
 use super::util::{respects_precedence, IntervalUnion, Span, INF};
-use super::{FallbackReason, SpecializedResult};
+use super::{BadPattern, FallbackReason, SpecializedResult};
 use linrv_history::{History, OpValue};
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -59,9 +59,15 @@ pub(super) fn check(history: &History) -> SpecializedResult {
                 match &record.response {
                     None | Some(OpValue::Bool(true)) => {}
                     Some(other) => {
-                        return SpecializedResult::NotMember(format!(
-                            "Enqueue({value}) acknowledged with {other} instead of true"
-                        ));
+                        return SpecializedResult::NotMember(
+                            BadPattern::new(
+                                "bad-response",
+                                format!(
+                                    "Enqueue({value}) acknowledged with {other} instead of true"
+                                ),
+                            )
+                            .with_values(vec![value]),
+                        );
                     }
                 }
                 match enqs.entry(value) {
@@ -81,15 +87,17 @@ pub(super) fn check(history: &History) -> SpecializedResult {
                 },
                 Some(OpValue::Empty) => empties.push(span),
                 Some(other) => {
-                    return SpecializedResult::NotMember(format!(
-                        "Dequeue returned {other}, expected an integer or empty"
+                    return SpecializedResult::NotMember(BadPattern::new(
+                        "bad-response",
+                        format!("Dequeue returned {other}, expected an integer or empty"),
                     ));
                 }
             },
             other => {
                 if record.response.is_some() {
-                    return SpecializedResult::NotMember(format!(
-                        "{other} is not a queue operation"
+                    return SpecializedResult::NotMember(BadPattern::new(
+                        "bad-response",
+                        format!("{other} is not a queue operation"),
                     ));
                 }
                 // A pending unknown invocation may be dropped.
@@ -107,17 +115,31 @@ pub(super) fn check(history: &History) -> SpecializedResult {
         if count > 1 {
             // At most one enqueue of `value` exists, and an extension can only
             // add responses, never new enqueues.
-            return SpecializedResult::NotMember(format!("value {value} dequeued {count} times"));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "duplicate-remove",
+                    format!("value {value} dequeued {count} times"),
+                )
+                .with_values(vec![value]),
+            );
         }
         let Some(&(enq, _)) = enqs.get(&value) else {
-            return SpecializedResult::NotMember(format!(
-                "value {value} dequeued but never enqueued"
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "never-added",
+                    format!("value {value} dequeued but never enqueued"),
+                )
+                .with_values(vec![value]),
+            );
         };
         if deq.precedes(&enq) {
-            return SpecializedResult::NotMember(format!(
-                "value {value} dequeued before its enqueue was invoked"
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "remove-before-add",
+                    format!("value {value} dequeued before its enqueue was invoked"),
+                )
+                .with_values(vec![value]),
+            );
         }
         matched.push(Pair { enq, deq, value });
     }
@@ -129,11 +151,11 @@ pub(super) fn check(history: &History) -> SpecializedResult {
         .map(|(&value, &(span, _))| (span, value))
         .collect();
 
-    if let Some(explanation) = fifo_inversion(&matched, &unmatched, wildcard_iv) {
-        return SpecializedResult::NotMember(explanation);
+    if let Some(pattern) = fifo_inversion(&matched, &unmatched, wildcard_iv) {
+        return SpecializedResult::NotMember(pattern);
     }
-    if let Some(explanation) = covered_empty_dequeue(&matched, &unmatched, &empties, wildcard_iv) {
-        return SpecializedResult::NotMember(explanation);
+    if let Some(pattern) = covered_empty_dequeue(&matched, &unmatched, &empties, wildcard_iv) {
+        return SpecializedResult::NotMember(pattern);
     }
 
     // Constructive phase: FIFO value order, then a gap-anchored merge.
@@ -152,7 +174,11 @@ pub(super) fn check(history: &History) -> SpecializedResult {
 /// Bad pattern 3: `v` enqueued before `w` (forced) yet dequeued after `w`
 /// (forced). A `v` that is never dequeued counts with dequeue invocation ∞ —
 /// but only when no pending dequeue could still consume it.
-fn fifo_inversion(matched: &[Pair], unmatched: &[(Span, i64)], wildcard_iv: u32) -> Option<String> {
+fn fifo_inversion(
+    matched: &[Pair],
+    unmatched: &[(Span, i64)],
+    wildcard_iv: u32,
+) -> Option<BadPattern> {
     // Role v: contributes (rs of enqueue, iv of dequeue).
     let mut first: Vec<(u32, u32, i64)> = matched
         .iter()
@@ -189,9 +215,13 @@ fn fifo_inversion(matched: &[Pair], unmatched: &[(Span, i64)], wildcard_iv: u32)
             } else {
                 format!("dequeued after {w}")
             };
-            return Some(format!(
-                "FIFO inversion: {latest_value} enqueued before {w} but {tail}"
-            ));
+            return Some(
+                BadPattern::new(
+                    "order-inversion",
+                    format!("FIFO inversion: {latest_value} enqueued before {w} but {tail}"),
+                )
+                .with_values(vec![latest_value, w]),
+            );
         }
     }
     None
@@ -204,7 +234,7 @@ fn covered_empty_dequeue(
     unmatched: &[(Span, i64)],
     empties: &[Span],
     wildcard_iv: u32,
-) -> Option<String> {
+) -> Option<BadPattern> {
     if empties.is_empty() {
         return None;
     }
@@ -226,11 +256,11 @@ fn covered_empty_dequeue(
     let union = IntervalUnion::new(occupied);
     for span in empties {
         if union.covers(span.iv, span.rs - 1) {
-            return Some(
+            return Some(BadPattern::new(
+                "covered-empty",
                 "a dequeue observed an empty queue inside a window where the queue \
-                 is necessarily non-empty"
-                    .to_string(),
-            );
+                 is necessarily non-empty",
+            ));
         }
     }
     None
@@ -493,10 +523,12 @@ mod tests {
     fn dequeue_of_never_enqueued_value_is_a_violation() {
         let mut b = HistoryBuilder::new();
         b.complete(p(0), ops::dequeue(), OpValue::Int(41));
-        let SpecializedResult::NotMember(explanation) = run(b) else {
+        let SpecializedResult::NotMember(pattern) = run(b) else {
             panic!("expected a violation");
         };
-        assert!(explanation.contains("never enqueued"));
+        assert_eq!(pattern.name, "never-added");
+        assert_eq!(pattern.values, [41]);
+        assert!(pattern.message.contains("never enqueued"));
     }
 
     #[test]
@@ -515,10 +547,11 @@ mod tests {
         b.complete(p(0), ops::enqueue(2), OpValue::Bool(true));
         b.complete(p(0), ops::dequeue(), OpValue::Int(2));
         b.complete(p(0), ops::dequeue(), OpValue::Int(1));
-        let SpecializedResult::NotMember(explanation) = run(b) else {
+        let SpecializedResult::NotMember(pattern) = run(b) else {
             panic!("expected a violation");
         };
-        assert!(explanation.contains("FIFO inversion"), "{explanation}");
+        assert_eq!(pattern.name, "order-inversion");
+        assert!(pattern.message.contains("FIFO inversion"), "{pattern}");
     }
 
     #[test]
@@ -551,10 +584,11 @@ mod tests {
         b.complete(p(0), ops::enqueue(1), OpValue::Bool(true));
         b.complete(p(0), ops::dequeue(), OpValue::Empty);
         b.complete(p(0), ops::dequeue(), OpValue::Int(1));
-        let SpecializedResult::NotMember(explanation) = run(b) else {
+        let SpecializedResult::NotMember(pattern) = run(b) else {
             panic!("expected a violation");
         };
-        assert!(explanation.contains("empty"), "{explanation}");
+        assert_eq!(pattern.name, "covered-empty");
+        assert!(pattern.message.contains("empty"), "{pattern}");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! validation falls back. Pending operations fall back.
 
 use super::util::{respects_precedence, Span, INF};
-use super::{FallbackReason, SpecializedResult};
+use super::{BadPattern, FallbackReason, SpecializedResult};
 use linrv_history::{History, OpValue};
 use std::collections::HashMap;
 
@@ -45,9 +45,13 @@ pub(super) fn check(history: &History) -> SpecializedResult {
                 match &record.response {
                     Some(OpValue::Bool(true)) => {}
                     Some(other) => {
-                        return SpecializedResult::NotMember(format!(
-                            "Write({value}) acknowledged with {other} instead of true"
-                        ));
+                        return SpecializedResult::NotMember(
+                            BadPattern::new(
+                                "bad-response",
+                                format!("Write({value}) acknowledged with {other} instead of true"),
+                            )
+                            .with_values(vec![value]),
+                        );
                     }
                     None => unreachable!("pending operations force a fallback above"),
                 }
@@ -60,15 +64,17 @@ pub(super) fn check(history: &History) -> SpecializedResult {
             "Read" => match &record.response {
                 Some(OpValue::Int(value)) => reads.push((*value, span)),
                 Some(other) => {
-                    return SpecializedResult::NotMember(format!(
-                        "Read returned {other}, expected an integer"
+                    return SpecializedResult::NotMember(BadPattern::new(
+                        "bad-response",
+                        format!("Read returned {other}, expected an integer"),
                     ));
                 }
                 None => unreachable!("pending operations force a fallback above"),
             },
             other => {
-                return SpecializedResult::NotMember(format!(
-                    "{other} is not a register operation"
+                return SpecializedResult::NotMember(BadPattern::new(
+                    "bad-response",
+                    format!("{other} is not a register operation"),
                 ));
             }
         }
@@ -82,14 +88,22 @@ pub(super) fn check(history: &History) -> SpecializedResult {
             continue;
         }
         let Some(write) = writes.get(&value) else {
-            return SpecializedResult::NotMember(format!(
-                "Read returned {value}, which was never written"
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "never-added",
+                    format!("Read returned {value}, which was never written"),
+                )
+                .with_values(vec![value]),
+            );
         };
         if span.precedes(write) {
-            return SpecializedResult::NotMember(format!(
-                "Read returned {value} before Write({value}) was invoked"
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "remove-before-add",
+                    format!("Read returned {value} before Write({value}) was invoked"),
+                )
+                .with_values(vec![value]),
+            );
         }
         by_value.entry(value).or_default().push(span);
     }
@@ -101,8 +115,8 @@ pub(super) fn check(history: &History) -> SpecializedResult {
         })
         .collect();
 
-    if let Some(explanation) = forced_inversion(&blocks, &initial_reads) {
-        return SpecializedResult::NotMember(explanation);
+    if let Some(pattern) = forced_inversion(&blocks, &initial_reads) {
+        return SpecializedResult::NotMember(pattern);
     }
     if simulate(blocks, initial_reads) {
         SpecializedResult::Member
@@ -112,7 +126,7 @@ pub(super) fn check(history: &History) -> SpecializedResult {
 }
 
 /// The two forced-precedence bad patterns, swept in O(n log n).
-fn forced_inversion(blocks: &[Block], initial_reads: &[Span]) -> Option<String> {
+fn forced_inversion(blocks: &[Block], initial_reads: &[Span]) -> Option<BadPattern> {
     let max_read_iv = |reads: &[Span]| reads.iter().map(|r| r.iv).max().unwrap_or(0);
     let min_read_rs = |reads: &[Span]| reads.iter().map(|r| r.rs).min().unwrap_or(INF);
 
@@ -133,11 +147,11 @@ fn forced_inversion(blocks: &[Block], initial_reads: &[Span]) -> Option<String> 
             cursor += 1;
         }
         if min_read_rs(&blocks[new].reads) < run_max {
-            return Some(
+            return Some(BadPattern::new(
+                "stale-read",
                 "new-old inversion: a read of an overwritten value started after a \
-                 read of the overwriting value completed"
-                    .to_string(),
-            );
+                 read of the overwriting value completed",
+            ));
         }
     }
 
@@ -155,17 +169,21 @@ fn forced_inversion(blocks: &[Block], initial_reads: &[Span]) -> Option<String> 
     };
     for block in blocks {
         if max_read_iv(&block.reads) > overwrite_after(block.write.rs) {
-            return Some(
+            return Some(BadPattern::new(
+                "stale-read",
                 "a read observed a value after an overwriting write had already \
-                 completed"
-                    .to_string(),
-            );
+                 completed",
+            ));
         }
     }
     // Every real write overwrites the initial value.
     if max_read_iv(initial_reads) > suffix_min_rs[0] {
         return Some(
-            "a read observed the initial value after a write had already completed".to_string(),
+            BadPattern::new(
+                "stale-read",
+                "a read observed the initial value after a write had already completed",
+            )
+            .with_values(vec![0]),
         );
     }
     None
@@ -228,10 +246,11 @@ mod tests {
         b.complete(p(0), ops::write(2), OpValue::Bool(true));
         b.complete(p(1), ops::read(), OpValue::Int(2));
         b.complete(p(1), ops::read(), OpValue::Int(1));
-        let SpecializedResult::NotMember(explanation) = run(b) else {
+        let SpecializedResult::NotMember(pattern) = run(b) else {
             panic!("expected a violation");
         };
-        assert!(explanation.contains("new-old inversion"), "{explanation}");
+        assert_eq!(pattern.name, "stale-read");
+        assert!(pattern.message.contains("new-old inversion"), "{pattern}");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! verdict. Pending operations fall back.
 
 use super::util::{respects_precedence, Span};
-use super::{FallbackReason, SpecializedResult};
+use super::{BadPattern, FallbackReason, SpecializedResult};
 use linrv_history::{History, OpValue};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -41,7 +41,10 @@ pub(super) fn check(history: &History) -> SpecializedResult {
         let span = Span::new(record.invocation_index, record.response_index);
         let kind = record.operation.kind.as_str();
         if !matches!(kind, "Add" | "Remove" | "Contains") {
-            return SpecializedResult::NotMember(format!("{kind} is not a set operation"));
+            return SpecializedResult::NotMember(BadPattern::new(
+                "bad-response",
+                format!("{kind} is not a set operation"),
+            ));
         }
         let Some(value) = record.operation.arg.as_int() else {
             return SpecializedResult::Fallback(FallbackReason::Unsupported);
@@ -49,9 +52,13 @@ pub(super) fn check(history: &History) -> SpecializedResult {
         let flag = match &record.response {
             Some(OpValue::Bool(flag)) => *flag,
             Some(other) => {
-                return SpecializedResult::NotMember(format!(
-                    "{kind}({value}) responded {other}, expected a boolean"
-                ));
+                return SpecializedResult::NotMember(
+                    BadPattern::new(
+                        "bad-response",
+                        format!("{kind}({value}) responded {other}, expected a boolean"),
+                    )
+                    .with_values(vec![value]),
+                );
             }
             None => unreachable!("pending operations force a fallback above"),
         };
@@ -69,23 +76,39 @@ pub(super) fn check(history: &History) -> SpecializedResult {
         // Counting bad patterns hold in every sequential order: mutators of
         // one element alternate add, remove, add, … starting from absent.
         if element.removes.len() > element.adds.len() {
-            return SpecializedResult::NotMember(format!(
-                "element {value} removed {} times but added only {} times",
-                element.removes.len(),
-                element.adds.len()
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "duplicate-remove",
+                    format!(
+                        "element {value} removed {} times but added only {} times",
+                        element.removes.len(),
+                        element.adds.len()
+                    ),
+                )
+                .with_values(vec![value]),
+            );
         }
         if element.adds.len() > element.removes.len() + 1 {
-            return SpecializedResult::NotMember(format!(
-                "element {value} added {} times with only {} removals",
-                element.adds.len(),
-                element.removes.len()
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "duplicate-add",
+                    format!(
+                        "element {value} added {} times with only {} removals",
+                        element.adds.len(),
+                        element.removes.len()
+                    ),
+                )
+                .with_values(vec![value]),
+            );
         }
         if element.adds.is_empty() && !element.present_obs.is_empty() {
-            return SpecializedResult::NotMember(format!(
-                "element {value} observed present but never successfully added"
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "never-added",
+                    format!("element {value} observed present but never successfully added"),
+                )
+                .with_values(vec![value]),
+            );
         }
         match realize(element) {
             Some(order) if respects_precedence(order.iter().copied()) => {}
@@ -198,12 +221,13 @@ mod tests {
     fn contains_true_without_add_is_a_violation() {
         let mut b = HistoryBuilder::new();
         b.complete(p(0), ops::contains(1), OpValue::Bool(true));
-        let SpecializedResult::NotMember(explanation) = run(b) else {
+        let SpecializedResult::NotMember(pattern) = run(b) else {
             panic!("expected a violation");
         };
+        assert_eq!(pattern.name, "never-added");
         assert!(
-            explanation.contains("never successfully added"),
-            "{explanation}"
+            pattern.message.contains("never successfully added"),
+            "{pattern}"
         );
     }
 

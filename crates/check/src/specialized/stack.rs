@@ -10,7 +10,7 @@
 //! search. Pending operations are not handled here (fallback).
 
 use super::util::{compress, respects_precedence, IntervalUnion, PrefixMax, Span, INF};
-use super::{FallbackReason, SpecializedResult};
+use super::{BadPattern, FallbackReason, SpecializedResult};
 use linrv_history::{History, OpValue};
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
@@ -20,6 +20,7 @@ use std::collections::{BinaryHeap, HashMap};
 struct Pair {
     push: Span,
     pop: Span,
+    value: i64,
 }
 
 pub(super) fn check(history: &History) -> SpecializedResult {
@@ -40,9 +41,13 @@ pub(super) fn check(history: &History) -> SpecializedResult {
                 match &record.response {
                     Some(OpValue::Bool(true)) => {}
                     Some(other) => {
-                        return SpecializedResult::NotMember(format!(
-                            "Push({value}) acknowledged with {other} instead of true"
-                        ));
+                        return SpecializedResult::NotMember(
+                            BadPattern::new(
+                                "bad-response",
+                                format!("Push({value}) acknowledged with {other} instead of true"),
+                            )
+                            .with_values(vec![value]),
+                        );
                     }
                     None => unreachable!("pending operations force a fallback above"),
                 }
@@ -62,14 +67,18 @@ pub(super) fn check(history: &History) -> SpecializedResult {
                 },
                 Some(OpValue::Empty) => empties.push(span),
                 Some(other) => {
-                    return SpecializedResult::NotMember(format!(
-                        "Pop returned {other}, expected an integer or empty"
+                    return SpecializedResult::NotMember(BadPattern::new(
+                        "bad-response",
+                        format!("Pop returned {other}, expected an integer or empty"),
                     ));
                 }
                 None => unreachable!("pending operations force a fallback above"),
             },
             other => {
-                return SpecializedResult::NotMember(format!("{other} is not a stack operation"));
+                return SpecializedResult::NotMember(BadPattern::new(
+                    "bad-response",
+                    format!("{other} is not a stack operation"),
+                ));
             }
         }
     }
@@ -81,29 +90,45 @@ pub(super) fn check(history: &History) -> SpecializedResult {
     let mut matched: Vec<Pair> = Vec::with_capacity(pops.len());
     for (&value, &(pop, count)) in &pops {
         if count > 1 {
-            return SpecializedResult::NotMember(format!("value {value} popped {count} times"));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "duplicate-remove",
+                    format!("value {value} popped {count} times"),
+                )
+                .with_values(vec![value]),
+            );
         }
         let Some(&(push, _)) = pushes.get(&value) else {
-            return SpecializedResult::NotMember(format!("value {value} popped but never pushed"));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "never-added",
+                    format!("value {value} popped but never pushed"),
+                )
+                .with_values(vec![value]),
+            );
         };
         if pop.precedes(&push) {
-            return SpecializedResult::NotMember(format!(
-                "value {value} popped before its push was invoked"
-            ));
+            return SpecializedResult::NotMember(
+                BadPattern::new(
+                    "remove-before-add",
+                    format!("value {value} popped before its push was invoked"),
+                )
+                .with_values(vec![value]),
+            );
         }
-        matched.push(Pair { push, pop });
+        matched.push(Pair { push, pop, value });
     }
-    let unmatched: Vec<Span> = pushes
+    let unmatched: Vec<(Span, i64)> = pushes
         .iter()
         .filter(|(value, _)| !pops.contains_key(value))
-        .map(|(_, &(span, _))| span)
+        .map(|(&value, &(span, _))| (span, value))
         .collect();
 
-    if let Some(explanation) = forced_crossing(&matched, &unmatched) {
-        return SpecializedResult::NotMember(explanation);
+    if let Some(pattern) = forced_crossing(&matched, &unmatched) {
+        return SpecializedResult::NotMember(pattern);
     }
-    if let Some(explanation) = covered_empty_pop(&matched, &unmatched, &empties) {
-        return SpecializedResult::NotMember(explanation);
+    if let Some(pattern) = covered_empty_pop(&matched, &unmatched, &empties) {
+        return SpecializedResult::NotMember(pattern);
     }
 
     if simulate(&matched, &unmatched, &empties) {
@@ -120,7 +145,7 @@ pub(super) fn check(history: &History) -> SpecializedResult {
 /// yet overlap it (`rs(push w) < iv(pop v)`) — nested-or-disjoint is
 /// impossible. With `v` unmatched (lifetime unbounded): `w` forced to start
 /// before `v` and `v` forced to start before `w` ends.
-fn forced_crossing(matched: &[Pair], unmatched: &[Span]) -> Option<String> {
+fn forced_crossing(matched: &[Pair], unmatched: &[(Span, i64)]) -> Option<BadPattern> {
     // Matched/matched: sweep w by push invocation; v's enter once their push
     // response is passed; Fenwick prefix-max over rs(pop v) answers
     // "among entered v with rs(pop v) < iv(pop w), the latest iv(pop v)".
@@ -142,31 +167,42 @@ fn forced_crossing(matched: &[Pair], unmatched: &[Span]) -> Option<String> {
         let prefix = pop_rs.partition_point(|&rs| rs < w.pop.iv);
         if prefix > 0 && tree.query(prefix - 1) > w.push.rs {
             return Some(
-                "LIFO crossing: two values' lifetimes are forced to cross \
-                 (neither nested nor disjoint)"
-                    .to_string(),
+                BadPattern::new(
+                    "order-inversion",
+                    format!(
+                        "LIFO crossing: {}'s lifetime is forced to cross another value's \
+                 (neither nested nor disjoint)",
+                        w.value
+                    ),
+                )
+                .with_values(vec![w.value]),
             );
         }
     }
 
     // Unmatched v / matched w: running max of iv(pop w) over w's whose push
     // completed before v's push invocation.
-    let mut v_by_push_iv: Vec<&Span> = unmatched.iter().collect();
-    v_by_push_iv.sort_unstable_by_key(|span| span.iv);
+    let mut v_by_push_iv: Vec<&(Span, i64)> = unmatched.iter().collect();
+    v_by_push_iv.sort_unstable_by_key(|(span, _)| span.iv);
     let mut w_by_push_rs: Vec<&Pair> = matched.iter().collect();
     w_by_push_rs.sort_unstable_by_key(|p| p.push.rs);
     let mut cursor = 0;
     let mut latest_pop_iv = 0u32;
-    for v in &v_by_push_iv {
+    for &&(v, value) in &v_by_push_iv {
         while cursor < w_by_push_rs.len() && w_by_push_rs[cursor].push.rs < v.iv {
             latest_pop_iv = latest_pop_iv.max(w_by_push_rs[cursor].pop.iv);
             cursor += 1;
         }
         if latest_pop_iv > v.rs {
             return Some(
-                "LIFO crossing: a never-popped value is forced to be pushed \
+                BadPattern::new(
+                    "order-inversion",
+                    format!(
+                        "LIFO crossing: the never-popped value {value} is forced to be pushed \
                  inside another value's lifetime and outlive it"
-                    .to_string(),
+                    ),
+                )
+                .with_values(vec![value]),
             );
         }
     }
@@ -175,7 +211,11 @@ fn forced_crossing(matched: &[Pair], unmatched: &[Span]) -> Option<String> {
 
 /// An empty-pop whose whole window is covered by values necessarily on the
 /// stack (same gap semantics as the queue's covered empty-dequeue).
-fn covered_empty_pop(matched: &[Pair], unmatched: &[Span], empties: &[Span]) -> Option<String> {
+fn covered_empty_pop(
+    matched: &[Pair],
+    unmatched: &[(Span, i64)],
+    empties: &[Span],
+) -> Option<BadPattern> {
     if empties.is_empty() {
         return None;
     }
@@ -184,15 +224,15 @@ fn covered_empty_pop(matched: &[Pair], unmatched: &[Span], empties: &[Span]) -> 
         .filter(|p| p.pop.iv > 0)
         .map(|p| (p.push.rs, p.pop.iv - 1))
         .collect();
-    occupied.extend(unmatched.iter().map(|span| (span.rs, INF)));
+    occupied.extend(unmatched.iter().map(|&(span, _)| (span.rs, INF)));
     let union = IntervalUnion::new(occupied);
     for span in empties {
         if union.covers(span.iv, span.rs - 1) {
-            return Some(
+            return Some(BadPattern::new(
+                "covered-empty",
                 "a pop observed an empty stack inside a window where the stack \
-                 is necessarily non-empty"
-                    .to_string(),
-            );
+                 is necessarily non-empty",
+            ));
         }
     }
     None
@@ -214,7 +254,7 @@ fn covered_empty_pop(matched: &[Pair], unmatched: &[Span], empties: &[Span]) -> 
 /// The emitted order replays correctly by construction; it is a linearization
 /// iff it also respects real-time precedence, which the caller checks.
 /// Returns `false` when the greedy gets stuck or validation fails.
-fn simulate(matched: &[Pair], unmatched: &[Span], empties: &[Span]) -> bool {
+fn simulate(matched: &[Pair], unmatched: &[(Span, i64)], empties: &[Span]) -> bool {
     #[derive(Clone, Copy)]
     enum Slot {
         Matched(usize),
@@ -227,7 +267,7 @@ fn simulate(matched: &[Pair], unmatched: &[Span], empties: &[Span]) -> bool {
         if id < matched.len() {
             matched[id].push
         } else {
-            unmatched[id - matched.len()]
+            unmatched[id - matched.len()].0
         }
     };
     let pop_deadline_key = |id: usize| -> u32 {
@@ -406,10 +446,11 @@ mod tests {
         b.complete(p(0), ops::push(2), OpValue::Bool(true));
         b.complete(p(0), ops::pop(), OpValue::Int(1));
         b.complete(p(0), ops::pop(), OpValue::Int(2));
-        let SpecializedResult::NotMember(explanation) = run(b) else {
+        let SpecializedResult::NotMember(pattern) = run(b) else {
             panic!("expected a violation");
         };
-        assert!(explanation.contains("crossing"), "{explanation}");
+        assert_eq!(pattern.name, "order-inversion");
+        assert!(pattern.message.contains("crossing"), "{pattern}");
     }
 
     #[test]
@@ -440,10 +481,12 @@ mod tests {
         b.complete(p(0), ops::push(1), OpValue::Bool(true));
         b.complete(p(0), ops::push(2), OpValue::Bool(true));
         b.complete(p(0), ops::pop(), OpValue::Int(1));
-        let SpecializedResult::NotMember(explanation) = run(b) else {
+        let SpecializedResult::NotMember(pattern) = run(b) else {
             panic!("expected a violation");
         };
-        assert!(explanation.contains("never-popped"), "{explanation}");
+        assert_eq!(pattern.name, "order-inversion");
+        assert_eq!(pattern.values, [2]);
+        assert!(pattern.message.contains("never-popped"), "{pattern}");
     }
 
     #[test]

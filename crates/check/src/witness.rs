@@ -1,7 +1,37 @@
 //! Verdicts and violation witnesses produced by the membership checkers.
 
-use linrv_history::History;
+use crate::pattern::BadPattern;
+use linrv_history::{History, OpId};
 use std::fmt;
+
+/// The deepest state the general Wing–Gong search reached before concluding
+/// that no linearization exists.
+///
+/// When the search dies, the longest linearizable prefix it built is genuine
+/// forensic evidence: the operations *not* in `linearized` are the ones no
+/// specification-respecting order could absorb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchFrontier {
+    /// Operations of the deepest linearized prefix, in the order the search
+    /// placed them.
+    pub linearized: Vec<OpId>,
+    /// Complete operations the search had to place in total.
+    pub total_complete: usize,
+    /// Search nodes explored before exhaustion.
+    pub explored: usize,
+}
+
+impl fmt::Display for SearchFrontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "search exhausted after {} states; deepest prefix linearized {} of {} complete operations",
+            self.explored,
+            self.linearized.len(),
+            self.total_complete
+        )
+    }
+}
 
 /// Why a history was judged not to belong to an abstract object.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -11,6 +41,38 @@ pub struct Violation {
     pub history: History,
     /// Human-readable explanation of the failure.
     pub explanation: String,
+    /// The named bad pattern behind the verdict, when a specialized monitor
+    /// produced it.
+    pub pattern: Option<BadPattern>,
+    /// The state where the general search died, when the general search
+    /// produced the verdict by exhaustion.
+    pub frontier: Option<SearchFrontier>,
+}
+
+impl Violation {
+    /// A violation with no structured evidence attached.
+    pub fn new(history: History, explanation: impl Into<String>) -> Self {
+        Violation {
+            history,
+            explanation: explanation.into(),
+            pattern: None,
+            frontier: None,
+        }
+    }
+
+    /// Attaches the named bad pattern that witnessed the violation.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: BadPattern) -> Self {
+        self.pattern = Some(pattern);
+        self
+    }
+
+    /// Attaches the frontier where the general search died.
+    #[must_use]
+    pub fn with_frontier(mut self, frontier: SearchFrontier) -> Self {
+        self.frontier = Some(frontier);
+        self
+    }
 }
 
 impl fmt::Display for Violation {
@@ -104,10 +166,7 @@ mod tests {
         assert!(member.linearization().is_none());
 
         let violation = Verdict::NotMember {
-            violation: Violation {
-                history: History::new(),
-                explanation: "no linearization exists".into(),
-            },
+            violation: Violation::new(History::new(), "no linearization exists"),
         };
         assert!(violation.is_violation());
         assert!(violation.violation().is_some());
@@ -117,12 +176,26 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let v = Verdict::NotMember {
-            violation: Violation {
-                history: History::new(),
-                explanation: "boom".into(),
-            },
+            violation: Violation::new(History::new(), "boom"),
         };
         assert!(v.to_string().contains("boom"));
         assert!(Verdict::Inconclusive.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn structured_evidence_rides_along() {
+        let violation = Violation::new(History::new(), "specialized queue monitor: boom")
+            .with_pattern(BadPattern::new("never-added", "boom").with_values(vec![3]));
+        assert_eq!(violation.pattern.as_ref().unwrap().name, "never-added");
+        assert!(violation.frontier.is_none());
+
+        let frontier = SearchFrontier {
+            linearized: vec![OpId::new(0)],
+            total_complete: 3,
+            explored: 17,
+        };
+        assert!(frontier.to_string().contains("1 of 3 complete operations"));
+        let violation = Violation::new(History::new(), "dead end").with_frontier(frontier);
+        assert_eq!(violation.frontier.as_ref().unwrap().explored, 17);
     }
 }

@@ -32,21 +32,34 @@ pub(crate) fn run(parsed: &Parsed) -> Result<ExitCode, String> {
         return Err("--stride must be positive".into());
     }
     let quiet = parsed.has("quiet");
+    let explain = parsed.has("explain");
     let stats = crate::stats::init(parsed);
     let input = open_input(path)?;
     let reader = TraceReader::new(input)
         .map_err(|err| format!("cannot read {}: {err}", describe(path, "stdin")))?;
     let source = describe(path, "stdin");
     let code = match reader.header().kind {
-        ObjectKind::Queue => check(QueueSpec::new(), reader, stride, quiet, &source),
-        ObjectKind::Stack => check(StackSpec::new(), reader, stride, quiet, &source),
-        ObjectKind::Set => check(SetSpec::new(), reader, stride, quiet, &source),
-        ObjectKind::PriorityQueue => {
-            check(PriorityQueueSpec::new(), reader, stride, quiet, &source)
-        }
-        ObjectKind::Counter => check(CounterSpec::new(), reader, stride, quiet, &source),
-        ObjectKind::Register => check(RegisterSpec::new(), reader, stride, quiet, &source),
-        ObjectKind::Consensus => check(ConsensusSpec::new(), reader, stride, quiet, &source),
+        ObjectKind::Queue => check(QueueSpec::new(), reader, stride, quiet, explain, &source),
+        ObjectKind::Stack => check(StackSpec::new(), reader, stride, quiet, explain, &source),
+        ObjectKind::Set => check(SetSpec::new(), reader, stride, quiet, explain, &source),
+        ObjectKind::PriorityQueue => check(
+            PriorityQueueSpec::new(),
+            reader,
+            stride,
+            quiet,
+            explain,
+            &source,
+        ),
+        ObjectKind::Counter => check(CounterSpec::new(), reader, stride, quiet, explain, &source),
+        ObjectKind::Register => check(RegisterSpec::new(), reader, stride, quiet, explain, &source),
+        ObjectKind::Consensus => check(
+            ConsensusSpec::new(),
+            reader,
+            stride,
+            quiet,
+            explain,
+            &source,
+        ),
     }?;
     if let Some(stats) = &stats {
         stats.emit()?;
@@ -68,6 +81,7 @@ fn check<S: SequentialSpec + Clone>(
     mut reader: TraceReader<impl Read>,
     stride: usize,
     quiet: bool,
+    explain: bool,
     source: &str,
 ) -> Result<ExitCode, String> {
     let kind = reader.header().kind;
@@ -99,6 +113,15 @@ fn check<S: SequentialSpec + Clone>(
                 );
                 eprintln!("certificate (violating prefix{which}):");
                 eprintln!("{violation}");
+                if explain {
+                    // The violating prefix is itself a failing history; the
+                    // forensics pipeline upgrades the certificate into a
+                    // minimal-witness report.
+                    if let Some(explanation) = linrv_forensics::explain(kind, &violation.history) {
+                        eprintln!();
+                        eprint!("{}", linrv_forensics::render_report(&explanation));
+                    }
+                }
                 return Ok(ExitCode::from(1));
             }
             // Unreachable without an explicit exploration budget, which the CLI

@@ -14,6 +14,7 @@ mod args;
 mod bench_cmd;
 mod check_cmd;
 mod convert;
+mod explain_cmd;
 mod fuzz_cmd;
 mod genrec;
 mod io;
@@ -39,14 +40,25 @@ USAGE:
         the kind (Michael–Scott queue, Treiber stack, ...), deterministically
         scheduled. Bit-for-bit deterministic per --seed.
 
-    linrv check   [FILE] [--stride N] [--quiet] [--stats[=FILE]]
+    linrv check   [FILE] [--stride N] [--quiet] [--explain] [--stats[=FILE]]
         Stream a trace (file or stdin) into the linearizability checker.
         Exit 0: linearizable. Exit 1: violation, certificate on stderr.
+        With --explain, a violation is additionally shrunk, diagnosed and
+        rendered as a forensic report on stderr (see explain).
 
         --stats records runtime metrics (re-check latency, DRV timings, ...)
         and prints a one-screen report to stderr; --stats=FILE writes the
         snapshot instead (.prom/.txt: Prometheus text, otherwise JSON).
-        Also accepted by gen, record and fuzz.
+        Also accepted by gen, record, explain and fuzz.
+
+    linrv explain [FILE] [--quiet] [--html FILE] [--cert FILE] [--stats[=FILE]]
+        Explain why a trace (file or stdin) is not linearizable: shrink it to
+        a locally minimal witness, tighten the surviving operation windows,
+        name the bad pattern behind the violation, compute the nearest
+        single-edit fix and print an ASCII timeline report to stdout.
+        --html writes a self-contained HTML timeline, --cert a
+        schema-versioned linrv-cert/1 JSON certificate (see CERT.md).
+        Exit 0: linearizable (nothing to explain). Exit 1: report printed.
 
     linrv convert --to jsonl|binary [--in FILE] [--out FILE]
         Re-encode a trace, streaming; header and events are preserved.
@@ -106,8 +118,12 @@ fn dispatch(argv: &[String]) -> Result<ExitCode, String> {
             genrec::run(&parsed, genrec::Source::Implementation)
         }
         "check" => {
-            let parsed = args::parse(rest, &["quiet", "stats"], &["stride", "stats"])?;
+            let parsed = args::parse(rest, &["quiet", "stats", "explain"], &["stride", "stats"])?;
             check_cmd::run(&parsed)
+        }
+        "explain" => {
+            let parsed = args::parse(rest, &["quiet", "stats"], &["html", "cert", "stats"])?;
+            explain_cmd::run(&parsed)
         }
         "convert" => {
             let parsed = args::parse(rest, &[], &["to", "in", "out"])?;

@@ -31,6 +31,7 @@ pub(crate) fn init(parsed: &Parsed) -> Option<Stats> {
     linrv_core::metrics::declare();
     linrv::metrics::declare();
     linrv_check::metrics::declare();
+    linrv_forensics::metrics::declare();
     linrv_pool::metrics::declare();
     Some(Stats { out })
 }

@@ -231,12 +231,22 @@ fn fuzz_quick_catches_and_shrinks_deterministically() {
         .collect();
     names.sort();
     assert!(!names.is_empty(), "violating scenarios must write traces");
+    assert!(
+        names.iter().any(|n| n.ends_with("-minimal.explain.txt"))
+            && names.iter().any(|n| n.ends_with("-minimal.cert.json")),
+        "each shrunk witness must come with an explanation and certificate: {names:?}"
+    );
     for name in &names {
+        // Byte-identity covers the traces AND the forensic companions
+        // (explanations and certificates are deterministic by construction).
         assert_eq!(
             std::fs::read(dir_a.join(name)).unwrap(),
             std::fs::read(dir_b.join(name)).unwrap(),
             "corpus file {name} must be byte-identical across runs"
         );
+        if !name.ends_with(".jsonl") {
+            continue;
+        }
         // Every corpus trace is itself a checkable violation: exit 1.
         assert_eq!(
             exit_code(&linrv(&["check", dir_a.join(name).to_str().unwrap()])),

@@ -1,0 +1,69 @@
+//! The kind-indexed membership check the forensics pipeline re-runs.
+//!
+//! Every phase of the pipeline (ddmin shrinking, interval narrowing, the
+//! nearest-linearization diff) is a loop of candidate edits re-decided by the
+//! checker, so the dispatch lives here once: specialized log-linear monitors
+//! where they apply, the general Wing–Gong search everywhere else.
+
+use linrv_check::{StrategyChecker, Verdict};
+use linrv_history::History;
+use linrv_spec::{
+    ConsensusSpec, CounterSpec, ObjectKind, PriorityQueueSpec, QueueSpec, RegisterSpec, SetSpec,
+    StackSpec,
+};
+
+/// Checks `history` against the sequential specification of `kind` using the
+/// strategy checker (specialized log-linear monitors with general fallback).
+pub fn check_history(kind: ObjectKind, history: &History) -> Verdict {
+    match kind {
+        ObjectKind::Queue => StrategyChecker::new(QueueSpec::new()).check(history),
+        ObjectKind::Stack => StrategyChecker::new(StackSpec::new()).check(history),
+        ObjectKind::Set => StrategyChecker::new(SetSpec::new()).check(history),
+        ObjectKind::PriorityQueue => StrategyChecker::new(PriorityQueueSpec::new()).check(history),
+        ObjectKind::Counter => StrategyChecker::new(CounterSpec::new()).check(history),
+        ObjectKind::Register => StrategyChecker::new(RegisterSpec::new()).check(history),
+        ObjectKind::Consensus => StrategyChecker::new(ConsensusSpec::new()).check(history),
+    }
+}
+
+/// The bad-pattern name a violating history diagnoses to, or `None` when the
+/// verdict came from the general search (or the history passes).
+///
+/// The narrowing pass uses this as its stability guard: an edit is accepted
+/// only if the diagnosis is unchanged, so narrowing can never trade the
+/// original bug for a different (manufactured) one.
+pub(crate) fn pattern_name(kind: ObjectKind, history: &History) -> Option<&'static str> {
+    check_history(kind, history)
+        .violation()
+        .and_then(|violation| violation.pattern.as_ref())
+        .map(|pattern| pattern.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+    use linrv_spec::ops::queue;
+
+    #[test]
+    fn dispatch_reaches_the_specialized_monitor() {
+        let mut b = HistoryBuilder::new();
+        let p = ProcessId::new(0);
+        b.complete(p, queue::dequeue(), OpValue::Int(9));
+        let history = b.build();
+        let verdict = check_history(ObjectKind::Queue, &history);
+        assert!(verdict.is_violation());
+        assert_eq!(
+            pattern_name(ObjectKind::Queue, &history),
+            Some("never-added")
+        );
+    }
+
+    #[test]
+    fn members_have_no_pattern_name() {
+        let mut b = HistoryBuilder::new();
+        let p = ProcessId::new(0);
+        b.complete(p, queue::enqueue(1), OpValue::Bool(true));
+        assert_eq!(pattern_name(ObjectKind::Queue, &b.build()), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! The end-to-end explanation pipeline: check, shrink, narrow, diagnose,
+//! diff.
+
+use crate::check::check_history;
+use crate::diff::{nearest_fix, NearestFix};
+use crate::metrics;
+use crate::narrow::narrow;
+use crate::shrink::shrink;
+use linrv_check::{BadPattern, SearchFrontier};
+use linrv_history::{History, OpId};
+use linrv_spec::ObjectKind;
+use std::collections::BTreeSet;
+
+/// Everything `linrv explain` knows about one violation.
+///
+/// Produced by [`explain`]; rendered by [`crate::report::render_report`]
+/// (ASCII), [`crate::html::render_html`] (static HTML) and
+/// [`crate::cert::render_cert`] (`linrv-cert/1` JSON). All fields are a pure
+/// function of the input history, so renders are byte-deterministic.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The checked object kind.
+    pub kind: ObjectKind,
+    /// Complete operations in the original history.
+    pub original_ops: usize,
+    /// Complete operations removed by shrinking.
+    pub removed: usize,
+    /// Checker invocations spent by shrinking.
+    pub shrink_checks: usize,
+    /// Accepted interval-narrowing swaps.
+    pub narrow_steps: usize,
+    /// The locally minimal, narrowed violating witness.
+    pub witness: History,
+    /// The checker's explanation of why the witness violates.
+    pub explanation: String,
+    /// The named bad pattern, when a specialized monitor decided.
+    pub pattern: Option<BadPattern>,
+    /// The frontier where the general search died, when it decided.
+    pub frontier: Option<SearchFrontier>,
+    /// The nearest single-edit fix, when one exists.
+    pub fix: Option<NearestFix>,
+}
+
+impl Explanation {
+    /// The operations the renderers should highlight: ops whose argument or
+    /// response carries a culprit value of the bad pattern, ops the general
+    /// search could not absorb into its deepest prefix, and ops named by the
+    /// nearest fix.
+    pub fn culprits(&self) -> BTreeSet<OpId> {
+        let mut culprits = BTreeSet::new();
+        if let Some(pattern) = &self.pattern {
+            for record in self.witness.operations() {
+                let arg = record.operation.arg.as_int();
+                let response = record.response.as_ref().and_then(|v| v.as_int());
+                if pattern
+                    .values
+                    .iter()
+                    .any(|&v| arg == Some(v) || response == Some(v))
+                {
+                    culprits.insert(record.id);
+                }
+            }
+        }
+        if let Some(frontier) = &self.frontier {
+            let linearized: BTreeSet<OpId> = frontier.linearized.iter().copied().collect();
+            for record in self.witness.complete_operations() {
+                if !linearized.contains(&record.id) {
+                    culprits.insert(record.id);
+                }
+            }
+        }
+        match &self.fix {
+            Some(NearestFix::RelaxEdge { first, second }) => {
+                culprits.insert(*first);
+                culprits.insert(*second);
+            }
+            Some(NearestFix::RewriteResponse { op, .. }) | Some(NearestFix::RemoveOp { op }) => {
+                culprits.insert(*op);
+            }
+            None => {}
+        }
+        culprits
+    }
+}
+
+/// Explains why `history` is not linearizable with respect to `kind`, or
+/// returns `None` when it is (or when the verdict is inconclusive).
+///
+/// The pipeline: re-check, ddmin-shrink to a locally minimal witness, narrow
+/// its intervals (diagnosis-stable), read the structured evidence off the
+/// witness's verdict, and search for the nearest single-edit fix.
+pub fn explain(kind: ObjectKind, history: &History) -> Option<Explanation> {
+    if !check_history(kind, history).is_violation() {
+        return None;
+    }
+    let original_ops = history.complete_operations().count();
+    let shrunk = shrink(kind, history);
+    let narrowed = narrow(kind, &shrunk.history);
+    let verdict = check_history(kind, &narrowed.history);
+    let violation = verdict.violation().expect("narrowing preserves violation");
+    let diff_started = std::time::Instant::now();
+    let fix = nearest_fix(kind, &narrowed.history);
+    metrics::diff_ns().record(u64::try_from(diff_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    Some(Explanation {
+        kind,
+        original_ops,
+        removed: shrunk.removed,
+        shrink_checks: shrunk.checks,
+        narrow_steps: narrowed.steps,
+        explanation: violation.explanation.clone(),
+        pattern: violation.pattern.clone(),
+        frontier: violation.frontier.clone(),
+        witness: narrowed.history,
+        fix,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shrink::is_locally_minimal;
+    use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+    use linrv_spec::ops::queue;
+
+    fn noisy_never_added(noise: usize) -> History {
+        let mut b = HistoryBuilder::new();
+        let p = ProcessId::new(0);
+        for i in 0..noise {
+            b.complete(p, queue::enqueue(100 + i as i64), OpValue::Bool(true));
+            b.complete(p, queue::dequeue(), OpValue::Int(100 + i as i64));
+        }
+        b.complete(p, queue::dequeue(), OpValue::Int(-1));
+        b.build()
+    }
+
+    #[test]
+    fn members_do_not_explain() {
+        let mut b = HistoryBuilder::new();
+        b.complete(ProcessId::new(0), queue::enqueue(1), OpValue::Bool(true));
+        assert!(explain(ObjectKind::Queue, &b.build()).is_none());
+    }
+
+    #[test]
+    fn explanations_carry_minimal_witness_pattern_and_fix() {
+        let explanation = explain(ObjectKind::Queue, &noisy_never_added(6)).expect("violating");
+        assert_eq!(explanation.original_ops, 13);
+        assert_eq!(explanation.removed, 12);
+        assert!(is_locally_minimal(ObjectKind::Queue, &explanation.witness));
+        let pattern = explanation.pattern.as_ref().expect("specialized kind");
+        assert_eq!(pattern.name, "never-added");
+        assert_eq!(pattern.values, [-1]);
+        assert!(explanation.fix.is_some());
+        assert!(!explanation.culprits().is_empty());
+    }
+
+    #[test]
+    fn explanations_are_deterministic() {
+        let history = noisy_never_added(4);
+        let a = explain(ObjectKind::Queue, &history).unwrap();
+        let b = explain(ObjectKind::Queue, &history).unwrap();
+        assert_eq!(a.witness.events(), b.witness.events());
+        assert_eq!(a.explanation, b.explanation);
+        assert_eq!(a.fix, b.fix);
+        assert_eq!(a.shrink_checks, b.shrink_checks);
+    }
+}

@@ -1,0 +1,169 @@
+//! Self-contained static HTML rendering of an [`Explanation`]: process lanes
+//! with proportional interval bars, culprit operations highlighted in red.
+//!
+//! The page embeds all styling inline — no scripts, no external assets — so
+//! it can be committed next to a corpus trace, attached to a CI run, or
+//! opened from a mail attachment unchanged.
+
+use crate::explain::Explanation;
+use std::fmt::Write as _;
+
+/// Escapes `&`, `<`, `>` and `"` for safe embedding in HTML text and
+/// attribute values.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+const STYLE: &str = "\
+body { font-family: ui-monospace, SFMono-Regular, Menlo, Consolas, monospace; \
+margin: 2rem; color: #1a1a2e; background: #fafafa; }
+h1 { font-size: 1.2rem; }
+.meta { color: #444; margin: 0.25rem 0; }
+.pattern-name { background: #b91c1c; color: #fff; padding: 0.1rem 0.4rem; \
+border-radius: 0.25rem; }
+.timeline { margin-top: 1.5rem; border-left: 2px solid #ccc; }
+.lane { position: relative; height: 2.2rem; margin: 0.4rem 0; }
+.lane-label { position: absolute; left: -3.5rem; top: 0.4rem; width: 3rem; \
+text-align: right; color: #666; }
+.op { position: absolute; top: 0.2rem; height: 1.6rem; line-height: 1.6rem; \
+background: #dbeafe; border: 1px solid #60a5fa; border-radius: 0.25rem; \
+overflow: hidden; white-space: nowrap; font-size: 0.8rem; padding: 0 0.3rem; \
+box-sizing: border-box; }
+.op.culprit { background: #fee2e2; border-color: #b91c1c; font-weight: bold; }
+.op.pending { border-right-style: dashed; }
+.fix { margin-top: 1.5rem; padding: 0.5rem; background: #ecfdf5; \
+border: 1px solid #10b981; border-radius: 0.25rem; }";
+
+/// Renders the explanation as one self-contained HTML page.
+pub fn render_html(explanation: &Explanation) -> String {
+    let culprits = explanation.culprits();
+    let witness = &explanation.witness;
+    let n_events = witness.len().max(1) as f64;
+    let mut processes: Vec<_> = witness.processes().into_iter().collect();
+    processes.sort();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "<!DOCTYPE html>");
+    let _ = writeln!(out, "<html lang=\"en\">");
+    let _ = writeln!(
+        out,
+        "<head><meta charset=\"utf-8\"><title>linrv explain — {} violation</title>",
+        explanation.kind
+    );
+    let _ = writeln!(out, "<style>{STYLE}</style></head>");
+    let _ = writeln!(out, "<body>");
+    let _ = writeln!(out, "<h1>{} violation</h1>", explanation.kind);
+    let _ = writeln!(
+        out,
+        "<p class=\"meta\">{}</p>",
+        escape(&explanation.explanation)
+    );
+    if let Some(pattern) = &explanation.pattern {
+        let _ = writeln!(
+            out,
+            "<p class=\"meta\">bad pattern: <span class=\"pattern-name\">{}</span> — {}</p>",
+            escape(pattern.name),
+            escape(&pattern.message)
+        );
+    }
+    if let Some(frontier) = &explanation.frontier {
+        let _ = writeln!(
+            out,
+            "<p class=\"meta\">general search: {}</p>",
+            escape(&frontier.to_string())
+        );
+    }
+    let kept = witness.complete_operations().count();
+    let _ = writeln!(
+        out,
+        "<p class=\"meta\">witness: {kept} of {} complete operations kept \
+         ({} removed, {} shrink checks, {} narrowing steps)</p>",
+        explanation.original_ops,
+        explanation.removed,
+        explanation.shrink_checks,
+        explanation.narrow_steps
+    );
+    let _ = writeln!(out, "<div class=\"timeline\">");
+    let records = witness.operations();
+    for p in processes {
+        let _ = writeln!(
+            out,
+            "<div class=\"lane\"><span class=\"lane-label\">{p}</span>"
+        );
+        for r in records.iter().filter(|r| r.process == p) {
+            let left = r.invocation_index as f64 / n_events * 100.0;
+            let right = match r.response_index {
+                Some(idx) => (idx + 1) as f64 / n_events * 100.0,
+                None => 100.0,
+            };
+            let mut classes = String::from("op");
+            if culprits.contains(&r.id) {
+                classes.push_str(" culprit");
+            }
+            if r.response_index.is_none() {
+                classes.push_str(" pending");
+            }
+            let label = match &r.response {
+                Some(v) => format!("{}:{}", r.operation, v),
+                None => format!("{}:…", r.operation),
+            };
+            let _ = writeln!(
+                out,
+                "<div class=\"{classes}\" style=\"left:{left:.1}%;width:{width:.1}%\" \
+                 title=\"{title}\">{text}</div>",
+                width = right - left,
+                title = escape(&label),
+                text = escape(&label)
+            );
+        }
+        let _ = writeln!(out, "</div>");
+    }
+    let _ = writeln!(out, "</div>");
+    if let Some(fix) = &explanation.fix {
+        let _ = writeln!(
+            out,
+            "<p class=\"fix\">nearest fix: {}</p>",
+            escape(&fix.to_string())
+        );
+    }
+    let _ = writeln!(out, "</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explain::explain;
+    use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+    use linrv_spec::{ops::queue, ObjectKind};
+
+    #[test]
+    fn pages_are_self_contained_and_highlight_culprits() {
+        let mut b = HistoryBuilder::new();
+        let p = ProcessId::new(0);
+        b.complete(p, queue::enqueue(1), OpValue::Bool(true));
+        b.complete(p, queue::dequeue(), OpValue::Int(7));
+        let explanation = explain(ObjectKind::Queue, &b.build()).expect("violating");
+        let page = render_html(&explanation);
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.contains("op culprit"));
+        assert!(page.contains("never-added"));
+        assert!(!page.contains("<script"), "no scripts: {page}");
+        assert!(!page.contains("http"), "no external assets");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+}

@@ -1,0 +1,62 @@
+//! Violation forensics: turn a raw non-linearizable trace into a bug report.
+//!
+//! A failing history of hundreds of events is evidence but not an
+//! explanation. This crate distils such a history into one:
+//!
+//! 1. **Minimization** ([`shrink()`], [`narrow()`]) — a ddmin loop removes
+//!    complete operation pairs while the violation persists, certifying
+//!    *local minimality* (removing any single remaining pair makes the trace
+//!    pass); an interval-narrowing pass then tightens each surviving
+//!    operation's invocation/response window, which only *adds* real-time
+//!    precedence edges and therefore keeps the violation while making the
+//!    forced orderings visible.
+//! 2. **Diagnosis** ([`explain()`], [`diff`]) — the minimal witness is mapped
+//!    to a named [`BadPattern`](linrv_check::BadPattern) when a specialized
+//!    monitor decided, or to the [`SearchFrontier`](linrv_check::SearchFrontier)
+//!    where the general search died; a nearest-linearization diff then finds
+//!    the smallest single edit (relax one precedence edge, rewrite one
+//!    response, or drop one operation) that would make the witness pass.
+//! 3. **Rendering** ([`report`], [`html`], [`cert`]) — an ASCII timeline with
+//!    the culprit operations highlighted, a self-contained HTML timeline, and
+//!    a schema-versioned `linrv-cert/1` JSON certificate.
+//!
+//! The pipeline is deterministic: the same history explains to the same
+//! bytes, which is what lets `linrv fuzz` commit explanations next to its
+//! shrunk corpus and CI byte-compare them.
+//!
+//! ```
+//! use linrv_forensics::explain;
+//! use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+//! use linrv_spec::{ops::queue, ObjectKind};
+//!
+//! let mut b = HistoryBuilder::new();
+//! let p = ProcessId::new(0);
+//! b.complete(p, queue::enqueue(1), OpValue::Bool(true));
+//! b.complete(p, queue::dequeue(), OpValue::Int(1));
+//! b.complete(p, queue::dequeue(), OpValue::Int(7)); // never enqueued
+//! let explanation = explain(ObjectKind::Queue, &b.build()).expect("violating");
+//! assert_eq!(explanation.pattern.as_ref().unwrap().name, "never-added");
+//! assert_eq!(explanation.witness.complete_operations().count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod check;
+pub mod diff;
+pub mod explain;
+pub mod html;
+pub mod metrics;
+pub mod narrow;
+pub mod report;
+pub mod shrink;
+
+pub use cert::render_cert;
+pub use check::check_history;
+pub use diff::{nearest_fix, NearestFix};
+pub use explain::{explain, Explanation};
+pub use html::render_html;
+pub use narrow::{narrow, NarrowOutcome};
+pub use report::render_report;
+pub use shrink::{is_locally_minimal, shrink, ShrinkOutcome};

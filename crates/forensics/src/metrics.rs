@@ -1,0 +1,61 @@
+//! Forensics metrics: what each phase of `linrv explain` costs.
+//!
+//! The explanation pipeline is a loop of candidate edits re-decided by the
+//! checker, so its cost is best understood as *checker invocations spent per
+//! phase*. These families make that visible on a live `linrv explain --stats`
+//! (or `linrv check --explain --stats`) run.
+
+use linrv_obs::{Counter, Histogram, MetricKind, Registry};
+use std::sync::OnceLock;
+
+const SHRINK_CHECKS: &str = "linrv_explain_shrink_checks_total";
+const SHRINK_CHECKS_HELP: &str = "checker invocations spent by ddmin witness shrinking";
+const NARROW_STEPS: &str = "linrv_explain_narrow_steps_total";
+const NARROW_STEPS_HELP: &str = "accepted interval-narrowing swaps across explanations";
+const SHRINK_NS: &str = "linrv_explain_shrink_ns";
+const SHRINK_NS_HELP: &str = "ddmin shrinking wall time per explanation, nanoseconds";
+const NARROW_NS: &str = "linrv_explain_narrow_ns";
+const NARROW_NS_HELP: &str = "interval narrowing wall time per explanation, nanoseconds";
+const DIFF_NS: &str = "linrv_explain_diff_ns";
+const DIFF_NS_HELP: &str = "nearest-linearization diff wall time per explanation, nanoseconds";
+
+/// Checker invocations spent by ddmin shrinking.
+pub fn shrink_checks_total() -> &'static Counter {
+    static SLOT: OnceLock<Counter> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().counter(SHRINK_CHECKS, SHRINK_CHECKS_HELP))
+}
+
+/// Accepted interval-narrowing swaps.
+pub fn narrow_steps_total() -> &'static Counter {
+    static SLOT: OnceLock<Counter> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().counter(NARROW_STEPS, NARROW_STEPS_HELP))
+}
+
+/// Per-explanation shrinking latency histogram.
+pub fn shrink_ns() -> &'static Histogram {
+    static SLOT: OnceLock<Histogram> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().histogram(SHRINK_NS, SHRINK_NS_HELP))
+}
+
+/// Per-explanation narrowing latency histogram.
+pub fn narrow_ns() -> &'static Histogram {
+    static SLOT: OnceLock<Histogram> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().histogram(NARROW_NS, NARROW_NS_HELP))
+}
+
+/// Per-explanation nearest-fix search latency histogram.
+pub fn diff_ns() -> &'static Histogram {
+    static SLOT: OnceLock<Histogram> = OnceLock::new();
+    SLOT.get_or_init(|| Registry::global().histogram(DIFF_NS, DIFF_NS_HELP))
+}
+
+/// Declares the forensics families in the global registry so exports list
+/// them even before any explanation runs.
+pub fn declare() {
+    let registry = Registry::global();
+    registry.declare(SHRINK_CHECKS, MetricKind::Counter, SHRINK_CHECKS_HELP);
+    registry.declare(NARROW_STEPS, MetricKind::Counter, NARROW_STEPS_HELP);
+    registry.declare(SHRINK_NS, MetricKind::Histogram, SHRINK_NS_HELP);
+    registry.declare(NARROW_NS, MetricKind::Histogram, NARROW_NS_HELP);
+    registry.declare(DIFF_NS, MetricKind::Histogram, DIFF_NS_HELP);
+}

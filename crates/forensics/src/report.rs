@@ -1,0 +1,168 @@
+//! ASCII rendering of an [`Explanation`]: a one-screen violation report with
+//! a process-lane timeline, culprit operations highlighted.
+
+use crate::explain::Explanation;
+use linrv_history::{History, OpId};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders a history as process-lane interval bars, drawing the operations in
+/// `culprits` with `#===#` bars (plain operations keep `|---|`).
+///
+/// Same geometry as `linrv_history::display::render_timeline`: one cell per
+/// event, interval from the invocation's event index to the response's, an
+/// open `>` end for pending operations.
+pub fn render_timeline(history: &History, culprits: &BTreeSet<OpId>) -> String {
+    const CELL: usize = 4;
+    let records = history.operations();
+    let n_events = history.len().max(1);
+    let width = n_events * CELL + 2;
+
+    let mut processes: Vec<_> = history.processes().into_iter().collect();
+    processes.sort();
+
+    let mut out = String::new();
+    for p in processes {
+        let mut line: Vec<char> = vec![' '; width];
+        let mut labels: Vec<(usize, String)> = Vec::new();
+        for r in records.iter().filter(|r| r.process == p) {
+            let accused = culprits.contains(&r.id);
+            let (end_mark, fill) = if accused { ('#', '=') } else { ('|', '-') };
+            let start = r.invocation_index * CELL;
+            let end = match r.response_index {
+                Some(idx) => idx * CELL + CELL - 1,
+                None => width - 1,
+            };
+            line[start] = end_mark;
+            for cell in line.iter_mut().take(end.min(width - 1)).skip(start + 1) {
+                *cell = fill;
+            }
+            if r.response_index.is_some() {
+                line[end.min(width - 1)] = end_mark;
+            } else {
+                line[width - 1] = '>';
+            }
+            let label = match &r.response {
+                Some(v) => format!("{}:{}", r.operation, v),
+                None => format!("{}:…", r.operation),
+            };
+            labels.push((start, label));
+        }
+        let mut label_line: Vec<char> = vec![' '; width + 40];
+        for (start, label) in labels {
+            for (i, ch) in label.chars().enumerate() {
+                if start + 1 + i < label_line.len() {
+                    label_line[start + 1 + i] = ch;
+                }
+            }
+        }
+        let _ = write!(out, "{p}: ");
+        out.push_str(line.iter().collect::<String>().trim_end());
+        out.push('\n');
+        out.push_str("    ");
+        out.push_str(label_line.iter().collect::<String>().trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the full ASCII report: verdict, diagnosis, minimization summary,
+/// timeline and nearest fix. Byte-deterministic for a given explanation.
+pub fn render_report(explanation: &Explanation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "violation ({}): {}",
+        explanation.kind, explanation.explanation
+    );
+    if let Some(pattern) = &explanation.pattern {
+        let values = if pattern.values.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " [{}]",
+                pattern
+                    .values
+                    .iter()
+                    .map(i64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        let _ = writeln!(
+            out,
+            "bad pattern: {}{values} — {}",
+            pattern.name, pattern.message
+        );
+    }
+    if let Some(frontier) = &explanation.frontier {
+        let _ = writeln!(out, "general search: {frontier}");
+    }
+    let kept = explanation.witness.complete_operations().count();
+    let _ = writeln!(
+        out,
+        "witness: {kept} of {} complete operations kept ({} removed, {} shrink checks, \
+         {} narrowing steps)",
+        explanation.original_ops,
+        explanation.removed,
+        explanation.shrink_checks,
+        explanation.narrow_steps
+    );
+    out.push('\n');
+    out.push_str(&render_timeline(
+        &explanation.witness,
+        &explanation.culprits(),
+    ));
+    if let Some(fix) = &explanation.fix {
+        let _ = writeln!(out, "\nnearest fix: {fix}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explain::explain;
+    use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+    use linrv_spec::{ops::queue, ObjectKind};
+
+    fn never_added() -> Explanation {
+        let mut b = HistoryBuilder::new();
+        let p = ProcessId::new(0);
+        b.complete(p, queue::enqueue(1), OpValue::Bool(true));
+        b.complete(p, queue::dequeue(), OpValue::Int(1));
+        b.complete(p, queue::dequeue(), OpValue::Int(7));
+        explain(ObjectKind::Queue, &b.build()).expect("violating")
+    }
+
+    #[test]
+    fn reports_name_the_pattern_and_highlight_culprits() {
+        let report = render_report(&never_added());
+        assert!(report.starts_with("violation (queue):"));
+        assert!(report.contains("bad pattern: never-added [7]"));
+        assert!(report.contains("nearest fix:"));
+        assert!(report.contains('#'), "culprit bars use # ends:\n{report}");
+        assert!(report.contains("Dequeue():7"));
+    }
+
+    #[test]
+    fn plain_operations_keep_plain_bars() {
+        let mut b = HistoryBuilder::new();
+        let p0 = ProcessId::new(0);
+        // Keep an innocent op in the witness: two dequeues of the same value
+        // are both load-bearing, the enqueue of 5 is matched but innocent…
+        b.complete(p0, queue::enqueue(5), OpValue::Bool(true));
+        b.complete(p0, queue::dequeue(), OpValue::Int(5));
+        b.complete(ProcessId::new(1), queue::dequeue(), OpValue::Int(5));
+        let explanation = explain(ObjectKind::Queue, &b.build()).expect("violating");
+        let timeline = render_timeline(&explanation.witness, &explanation.culprits());
+        assert!(timeline.contains('#'));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = render_report(&never_added());
+        let b = render_report(&never_added());
+        assert_eq!(a, b);
+    }
+}

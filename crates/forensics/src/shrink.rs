@@ -1,0 +1,200 @@
+//! Delta-debugging trace shrinking: reduce a failing history to a locally
+//! minimal violating witness.
+//!
+//! General linearizability monitoring is NP-hard (Hamza), so a raw violating
+//! trace of hundreds of events is a poor bug report. Shrinking exploits two
+//! facts: linearizability is prefix-closed, so *removal of complete pairs*
+//! preserves well-formedness; and re-checking a candidate is cheap with the
+//! specialized log-linear monitors. The ddmin-style loop below removes
+//! shrinking chunks of complete operations while the violation persists; it
+//! terminates only after a full pass at chunk size one finds no removable
+//! operation — which is exactly the *local minimality* certificate: removing
+//! any single complete pair makes the trace linearizable.
+//!
+//! Pending invocations (crashed processes) are never removed: they are part
+//! of the scenario's story and Definition 4.2's complete-or-drop handling
+//! already lets the checker discount them.
+
+use crate::check::check_history;
+use crate::metrics;
+use linrv_history::{History, OpId};
+use linrv_spec::ObjectKind;
+use std::collections::BTreeSet;
+
+/// The result of shrinking one failing history.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The locally minimal violating history.
+    pub history: History,
+    /// Complete operations removed from the original.
+    pub removed: usize,
+    /// Checker invocations spent.
+    pub checks: usize,
+}
+
+fn violates(kind: ObjectKind, history: &History) -> bool {
+    check_history(kind, history).is_violation()
+}
+
+fn complete_ids(history: &History) -> Vec<OpId> {
+    history
+        .complete_operations()
+        .map(|record| record.id)
+        .collect()
+}
+
+/// Removes the events of the given complete operations from `history`.
+fn remove_ops(history: &History, ids: &BTreeSet<OpId>) -> History {
+    History::from_events(
+        history
+            .events()
+            .iter()
+            .filter(|event| !ids.contains(&event.op_id))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Shrinks `failing` (a history [`check_history`] rejects) to a locally
+/// minimal violating history: removing any single complete pair of the result
+/// makes it pass.
+///
+/// # Panics
+///
+/// Panics if `failing` is not actually a violation of `kind`.
+pub fn shrink(kind: ObjectKind, failing: &History) -> ShrinkOutcome {
+    assert!(
+        violates(kind, failing),
+        "shrink requires a violating history"
+    );
+    let started = std::time::Instant::now();
+    let original_ops = complete_ids(failing).len();
+    let mut current = failing.clone();
+    let mut checks = 0usize;
+    let mut chunk = complete_ids(&current).len().div_ceil(2).max(1);
+    loop {
+        let ids = complete_ids(&current);
+        if ids.is_empty() {
+            break;
+        }
+        chunk = chunk.min(ids.len());
+        let mut progressed = false;
+        let mut start = 0;
+        while start < ids.len() {
+            let candidate_ids: BTreeSet<OpId> = ids[start..(start + chunk).min(ids.len())]
+                .iter()
+                .copied()
+                .collect();
+            let candidate = remove_ops(&current, &candidate_ids);
+            checks += 1;
+            if violates(kind, &candidate) {
+                current = candidate;
+                progressed = true;
+                break;
+            }
+            start += chunk;
+        }
+        if progressed {
+            // Same chunk size, fresh pass over the reduced history.
+            continue;
+        }
+        if chunk == 1 {
+            // A full single-removal pass with no hit: every remaining complete
+            // pair is load-bearing — the local-minimality certificate.
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    metrics::shrink_checks_total().add(checks as u64);
+    metrics::shrink_ns().record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    ShrinkOutcome {
+        removed: original_ops - complete_ids(&current).len(),
+        history: current,
+        checks,
+    }
+}
+
+/// `true` when `history` violates `kind` and removing any single complete pair
+/// makes it pass — the property [`shrink`] certifies for its result.
+pub fn is_locally_minimal(kind: ObjectKind, history: &History) -> bool {
+    if !violates(kind, history) {
+        return false;
+    }
+    complete_ids(history).into_iter().all(|id| {
+        let removed = remove_ops(history, &BTreeSet::from([id]));
+        !violates(kind, &removed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linrv_history::{HistoryBuilder, OpValue, ProcessId};
+    use linrv_spec::ops::{counter, queue};
+
+    fn failing_queue_history(noise: usize) -> History {
+        let mut b = HistoryBuilder::new();
+        let p = ProcessId::new(0);
+        // Noise: matched enqueue/dequeue pairs that are individually removable.
+        for i in 0..noise {
+            b.complete(p, queue::enqueue(100 + i as i64), OpValue::Bool(true));
+            b.complete(p, queue::dequeue(), OpValue::Int(100 + i as i64));
+        }
+        // The seeded bug: a dequeue returning a value never enqueued.
+        b.complete(p, queue::dequeue(), OpValue::Int(-1));
+        b.build()
+    }
+
+    #[test]
+    fn shrinking_preserves_the_violation_and_reaches_local_minimality() {
+        let failing = failing_queue_history(10);
+        let outcome = shrink(ObjectKind::Queue, &failing);
+        assert!(violates(ObjectKind::Queue, &outcome.history));
+        assert!(is_locally_minimal(ObjectKind::Queue, &outcome.history));
+        assert_eq!(outcome.removed, 20);
+        assert_eq!(outcome.history.complete_operations().count(), 1);
+        assert!(outcome.checks > 0);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let failing = failing_queue_history(7);
+        let a = shrink(ObjectKind::Queue, &failing);
+        let b = shrink(ObjectKind::Queue, &failing);
+        assert_eq!(a.history.events(), b.history.events());
+        assert_eq!(a.checks, b.checks);
+    }
+
+    #[test]
+    fn already_minimal_histories_survive_untouched() {
+        // Two inc()s returning the same value: both are load-bearing.
+        let mut b = HistoryBuilder::new();
+        b.complete(ProcessId::new(0), counter::inc(), OpValue::Int(0));
+        b.complete(ProcessId::new(1), counter::inc(), OpValue::Int(0));
+        let failing = b.build();
+        assert!(violates(ObjectKind::Counter, &failing));
+        let outcome = shrink(ObjectKind::Counter, &failing);
+        assert_eq!(outcome.removed, 0);
+        assert_eq!(outcome.history.events(), failing.events());
+        assert!(is_locally_minimal(ObjectKind::Counter, &outcome.history));
+    }
+
+    #[test]
+    fn pending_operations_are_kept() {
+        let mut b = HistoryBuilder::new();
+        let p = ProcessId::new(0);
+        b.invoke(ProcessId::new(1), queue::enqueue(9));
+        b.complete(p, queue::dequeue(), OpValue::Int(-1));
+        let failing = b.build();
+        let outcome = shrink(ObjectKind::Queue, &failing);
+        assert_eq!(outcome.history.pending_operations().count(), 1);
+        assert!(violates(ObjectKind::Queue, &outcome.history));
+    }
+
+    #[test]
+    fn local_minimality_rejects_padded_witnesses() {
+        let failing = failing_queue_history(3);
+        assert!(!is_locally_minimal(ObjectKind::Queue, &failing));
+        assert!(!is_locally_minimal(ObjectKind::Queue, &History::new()));
+    }
+}

@@ -7,6 +7,7 @@
 use crate::runner::{run_scenario, RunOutcome};
 use crate::scenario::{Scenario, SweepShape};
 use crate::shrink::{shrink, ShrinkOutcome};
+use linrv_forensics::{explain, render_cert, render_report};
 use linrv_history::History;
 use linrv_trace::{Provenance, TraceFormat, TraceHeader, TraceWriter};
 use std::fmt::Write as _;
@@ -91,6 +92,8 @@ pub struct ScenarioResult {
     pub trace_file: Option<String>,
     /// Corpus file of the shrunk minimal trace, when written.
     pub minimal_file: Option<String>,
+    /// Corpus file of the witness's forensic explanation, when written.
+    pub explain_file: Option<String>,
     /// Wall time of the scenario (run, check and shrink), in nanoseconds.
     /// The only non-deterministic field: verdicts and corpus bytes stay a
     /// pure function of the config.
@@ -254,7 +257,7 @@ fn corpus_files(
     scenario: &Scenario,
     outcome: &RunOutcome,
     shrunk: &ShrinkOutcome,
-) -> io::Result<(String, String)> {
+) -> io::Result<(String, String, Option<String>)> {
     let slug = scenario.label().replace('/', "-");
     let full = format!("scenario-{:04}-{slug}.jsonl", scenario.index);
     let minimal = format!("scenario-{:04}-{slug}-minimal.jsonl", scenario.index);
@@ -267,7 +270,20 @@ fn corpus_files(
     };
     write_trace(&dir.join(&full), scenario, provenance, &outcome.history)?;
     write_trace(&dir.join(&minimal), scenario, provenance, &shrunk.history)?;
-    Ok((full, minimal))
+    // A witness without a "why" is half a bug report: explain the minimal
+    // trace (deterministically — the sweep's byte-identity contract covers
+    // these files too) and drop the report and certificate next to it.
+    let explain_file = match explain(outcome.kind, &shrunk.history) {
+        Some(explanation) => {
+            let report = format!("scenario-{:04}-{slug}-minimal.explain.txt", scenario.index);
+            let cert = format!("scenario-{:04}-{slug}-minimal.cert.json", scenario.index);
+            std::fs::write(dir.join(&report), render_report(&explanation))?;
+            std::fs::write(dir.join(&cert), render_cert(&explanation))?;
+            Some(report)
+        }
+        None => None,
+    };
+    Ok((full, minimal, explain_file))
 }
 
 /// Runs the whole sweep: derive, execute, check, shrink failures, write the
@@ -301,6 +317,7 @@ pub fn run_sweep(config: &FuzzConfig) -> io::Result<FuzzReport> {
             removed: None,
             trace_file: None,
             minimal_file: None,
+            explain_file: None,
             wall_ns: 0,
         };
         if outcome.violated() {
@@ -308,9 +325,10 @@ pub fn run_sweep(config: &FuzzConfig) -> io::Result<FuzzReport> {
             result.minimal_ops = Some(shrunk.history.complete_operations().count());
             result.removed = Some(shrunk.removed);
             if let Some(dir) = &config.corpus_dir {
-                let (full, minimal) = corpus_files(dir, &scenario, &outcome, &shrunk)?;
+                let (full, minimal, explain) = corpus_files(dir, &scenario, &outcome, &shrunk)?;
                 result.trace_file = Some(full);
                 result.minimal_file = Some(minimal);
+                result.explain_file = explain;
             }
         }
         result.wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);

@@ -11,7 +11,7 @@
 use crate::generator::GeneratorSource;
 use crate::nemesis::{ChurnPlan, PlannedFaults};
 use crate::scenario::{Scenario, Target};
-use linrv_check::{StrategyChecker, Verdict, Violation};
+use linrv_check::{Verdict, Violation};
 use linrv_history::{Event, History, OpId, ProcessId};
 use linrv_pool::{PoolBuilder, PoolSession};
 use linrv_runtime::faulty::MutatedObject;
@@ -53,17 +53,11 @@ impl RunOutcome {
 
 /// Checks `history` against the sequential specification of `kind` using the
 /// strategy checker (specialized log-linear monitors with general fallback).
-pub fn check_history(kind: ObjectKind, history: &History) -> Verdict {
-    match kind {
-        ObjectKind::Queue => StrategyChecker::new(QueueSpec::new()).check(history),
-        ObjectKind::Stack => StrategyChecker::new(StackSpec::new()).check(history),
-        ObjectKind::Set => StrategyChecker::new(SetSpec::new()).check(history),
-        ObjectKind::PriorityQueue => StrategyChecker::new(PriorityQueueSpec::new()).check(history),
-        ObjectKind::Counter => StrategyChecker::new(CounterSpec::new()).check(history),
-        ObjectKind::Register => StrategyChecker::new(RegisterSpec::new()).check(history),
-        ObjectKind::Consensus => StrategyChecker::new(ConsensusSpec::new()).check(history),
-    }
-}
+///
+/// The dispatch itself lives in `linrv-forensics` (the forensics pipeline
+/// re-runs it on every candidate edit); this re-export keeps the scenario
+/// engine's historical entry point.
+pub use linrv_forensics::check_history;
 
 /// Executes `scenario` end to end and checks the result.
 pub fn run_scenario(scenario: &Scenario) -> RunOutcome {
@@ -198,10 +192,7 @@ where
             linearization: None,
         },
         Some(violation) => Verdict::NotMember {
-            violation: Violation {
-                history: violation.witness,
-                explanation: violation.explanation,
-            },
+            violation: Violation::new(violation.witness, violation.explanation),
         },
     };
     RunOutcome {
